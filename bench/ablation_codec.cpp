@@ -1,0 +1,123 @@
+// Micro-benchmarks of the wire-format hot paths: message encode/decode,
+// name compression, zone lookup, and the §2.6 scheduler arithmetic. These
+// bound the per-query CPU cost of both the replay engine and the server.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "dns/message.hpp"
+#include "replay/schedule.hpp"
+
+using namespace ldp;
+
+namespace {
+
+dns::Message sample_response() {
+  dns::Message q = dns::Message::make_query(1234, *dns::Name::parse("www.example.com"),
+                                            dns::RRType::A);
+  dns::Edns e;
+  e.udp_payload_size = 4096;
+  e.dnssec_ok = true;
+  q.edns = e;
+  dns::Message r = dns::Message::make_response(q);
+  for (int i = 0; i < 4; ++i) {
+    r.answers.push_back(dns::ResourceRecord{
+        *dns::Name::parse("www.example.com"), dns::RRType::A, dns::RRClass::IN, 300,
+        dns::Rdata{dns::AData{Ip4{192, 0, 2, static_cast<uint8_t>(i)}}}});
+  }
+  for (int i = 0; i < 2; ++i) {
+    r.authorities.push_back(dns::ResourceRecord{
+        *dns::Name::parse("example.com"), dns::RRType::NS, dns::RRClass::IN, 86400,
+        dns::Rdata{dns::NameData{*dns::Name::parse("ns" + std::to_string(i) +
+                                                   ".example.com")}}});
+  }
+  return r;
+}
+
+void BM_MessageEncode(benchmark::State& state) {
+  auto msg = sample_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg.to_wire());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessageEncode);
+
+void BM_MessageDecode(benchmark::State& state) {
+  auto wire = sample_response().to_wire();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Message::from_wire(wire));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_MessageDecode);
+
+void BM_QueryEncodeDecodeRoundTrip(benchmark::State& state) {
+  // The replay hot path: query out, response in.
+  auto query = dns::Message::make_query(7, *dns::Name::parse("abcdef.com"),
+                                        dns::RRType::A, false);
+  for (auto _ : state) {
+    auto wire = query.to_wire();
+    benchmark::DoNotOptimize(dns::Message::from_wire(wire));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryEncodeDecodeRoundTrip);
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Name::parse("a.very.deep.chain.of.labels.example.com"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NameParse);
+
+void BM_ZoneLookup(benchmark::State& state) {
+  auto server = bench::root_wildcard_server();
+  dns::Message q = dns::Message::make_query(5, *dns::Name::parse("foo.example.com"),
+                                            dns::RRType::A, false);
+  IpAddr client{Ip4{10, 0, 0, 9}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.answer(q, client));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZoneLookup);
+
+void BM_SchedulerDelayMath(benchmark::State& state) {
+  replay::ReplayClock clock;
+  clock.start(1000 * kSecond, 2000 * kSecond);
+  TimeNs trace_t = 1000 * kSecond;
+  TimeNs real_t = 2000 * kSecond;
+  for (auto _ : state) {
+    trace_t += 27 * kMicro;  // B-Root mean inter-arrival
+    real_t += 26 * kMicro;
+    benchmark::DoNotOptimize(clock.delay_for(trace_t, real_t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerDelayMath);
+
+void BM_DnssecSigningOverhead(benchmark::State& state) {
+  // Answer cost with RRSIG synthesis (zsk bits as the argument).
+  server::ServerConfig cfg;
+  cfg.dnssec.zone_signed = true;
+  cfg.dnssec.zsk_bits = static_cast<size_t>(state.range(0));
+  auto server = bench::root_wildcard_server(cfg);
+  dns::Message q = dns::Message::make_query(6, *dns::Name::parse("bar.example.com"),
+                                            dns::RRType::A, false);
+  dns::Edns e;
+  e.udp_payload_size = 4096;
+  e.dnssec_ok = true;
+  q.edns = e;
+  IpAddr client{Ip4{10, 0, 0, 9}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.answer(q, client));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DnssecSigningOverhead)->Arg(1024)->Arg(2048)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Ablation: meta-DNS-server (one server, split-horizon views, proxy
+// rewriting) vs independent per-zone servers.
+//
+// DESIGN.md decision 1: hosting the whole hierarchy on one server instance
+// must not cost materially more per query than independent servers, and
+// the proxy rewrite must be cheap — otherwise the consolidation that makes
+// many-zone experiments deployable would distort timing.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "proxy/proxy.hpp"
+#include "trace/pcap.hpp"
+
+using namespace ldp;
+
+namespace {
+
+const IpAddr kRootAddr{Ip4{198, 41, 0, 4}};
+const IpAddr kMetaAddr{Ip4{10, 1, 1, 3}};
+const IpAddr kRecursiveAddr{Ip4{10, 1, 1, 2}};
+
+// One meta server whose views each hold a synthetic TLD zone.
+server::AuthServer make_meta(size_t zones) {
+  server::AuthServer meta;
+  for (size_t i = 0; i < zones; ++i) {
+    std::string tld = "tld" + std::to_string(i);
+    auto z = zone::parse_zone("$ORIGIN " + tld +
+                              ".\n$TTL 3600\n@ IN SOA ns1 admin 1 2 3 4 300\n@ IN NS "
+                              "ns1\nns1 IN A 192.0.2.1\n* IN A 192.0.2.80\n");
+    zone::View& v = meta.views().add_view(tld);
+    v.match_clients.insert(IpAddr{Ip4{10, 2, static_cast<uint8_t>(i >> 8),
+                                      static_cast<uint8_t>(i & 0xff)}});
+    if (!z.ok() || !v.zones.add(std::move(*z)).ok()) std::abort();
+  }
+  return meta;
+}
+
+std::vector<server::AuthServer> make_independent(size_t zones) {
+  std::vector<server::AuthServer> servers;
+  servers.reserve(zones);
+  for (size_t i = 0; i < zones; ++i) {
+    std::string tld = "tld" + std::to_string(i);
+    auto z = zone::parse_zone("$ORIGIN " + tld +
+                              ".\n$TTL 3600\n@ IN SOA ns1 admin 1 2 3 4 300\n@ IN NS "
+                              "ns1\nns1 IN A 192.0.2.1\n* IN A 192.0.2.80\n");
+    server::AuthServer s;
+    if (!z.ok() || !s.default_zones().add(std::move(*z)).ok()) std::abort();
+    servers.push_back(std::move(s));
+  }
+  return servers;
+}
+
+dns::Message query_for(size_t zone_idx, uint16_t id) {
+  auto name = dns::Name::parse("www.tld" + std::to_string(zone_idx));
+  return dns::Message::make_query(id, *name, dns::RRType::A, false);
+}
+
+void BM_MetaServerAnswer(benchmark::State& state) {
+  size_t zones = static_cast<size_t>(state.range(0));
+  auto meta = make_meta(zones);
+  uint16_t id = 0;
+  size_t zone_idx = 0;
+  for (auto _ : state) {
+    dns::Message q = query_for(zone_idx, id++);
+    IpAddr view_key{Ip4{10, 2, static_cast<uint8_t>(zone_idx >> 8),
+                        static_cast<uint8_t>(zone_idx & 0xff)}};
+    benchmark::DoNotOptimize(meta.answer(q, view_key));
+    zone_idx = (zone_idx + 1) % zones;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetaServerAnswer)->Arg(8)->Arg(64)->Arg(549);  // 549: Rec-17 zones
+
+void BM_IndependentServersAnswer(benchmark::State& state) {
+  size_t zones = static_cast<size_t>(state.range(0));
+  auto servers = make_independent(zones);
+  uint16_t id = 0;
+  size_t zone_idx = 0;
+  for (auto _ : state) {
+    dns::Message q = query_for(zone_idx, id++);
+    benchmark::DoNotOptimize(servers[zone_idx].answer(q, kRecursiveAddr));
+    zone_idx = (zone_idx + 1) % zones;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndependentServersAnswer)->Arg(8)->Arg(64)->Arg(549);
+
+void BM_ProxyRewritePair(benchmark::State& state) {
+  proxy::ServerProxy rec(proxy::ServerProxy::Role::Recursive, kMetaAddr);
+  proxy::ServerProxy aut(proxy::ServerProxy::Role::Authoritative, kRecursiveAddr);
+  for (auto _ : state) {
+    proxy::Datagram q;
+    q.src = Endpoint{kRecursiveAddr, 42001};
+    q.dst = Endpoint{kRootAddr, 53};
+    rec.rewrite(q);
+    proxy::Datagram r;
+    r.src = Endpoint{kMetaAddr, 53};
+    r.dst = q.src;
+    aut.rewrite(r);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProxyRewritePair);
+
+void BM_RawPacketRewriteWithChecksums(benchmark::State& state) {
+  // The TUN-path cost: rewrite addresses in a real IPv4/UDP packet and fix
+  // both checksums.
+  trace::PcapWriter w;
+  dns::Message msg = dns::Message::make_query(1, *dns::Name::parse("x.tld0"),
+                                              dns::RRType::A);
+  auto rec = trace::make_query_record(0, Endpoint{kRecursiveAddr, 42001},
+                                      Endpoint{kRootAddr, 53}, msg);
+  w.add(rec);
+  auto pcap = std::move(w).take();
+  std::vector<uint8_t> packet(pcap.begin() + 40, pcap.end());
+  for (auto _ : state) {
+    auto r = proxy::rewrite_raw_ipv4_udp(packet, Ip4{198, 41, 0, 4}, Ip4{10, 1, 1, 3});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RawPacketRewriteWithChecksums);
+
+}  // namespace
+
+BENCHMARK_MAIN();

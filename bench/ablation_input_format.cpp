@@ -1,0 +1,113 @@
+// Ablation: trace input formats (DESIGN.md decision 3).
+//
+// §2.5 argues for pre-converting traces to the customized binary stream:
+// pcap parsing and (worse) text parsing on the replay path would throttle
+// fast replays. This ablation measures read throughput of the same trace
+// in all three formats, plus the one-time conversion costs.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "trace/binary.hpp"
+#include "trace/pcap.hpp"
+#include "trace/text.hpp"
+
+using namespace ldp;
+
+namespace {
+
+std::vector<trace::TraceRecord> sample_trace() {
+  synth::RootTraceSpec spec;
+  spec.mean_rate_qps = 1000;
+  spec.duration_ns = 10 * kSecond;
+  spec.client_count = 2000;
+  spec.seed = 42;
+  return synth::make_root_trace(spec);
+}
+
+const std::vector<trace::TraceRecord>& cached_trace() {
+  static const auto trace = sample_trace();
+  return trace;
+}
+
+std::vector<uint8_t> as_pcap() {
+  trace::PcapWriter w;
+  for (const auto& rec : cached_trace()) w.add(rec);
+  return std::move(w).take();
+}
+
+std::vector<uint8_t> as_binary() {
+  trace::BinaryWriter w;
+  for (const auto& rec : cached_trace()) w.add(rec);
+  return std::move(w).take();
+}
+
+std::string as_text() { return *trace::trace_to_text(cached_trace()); }
+
+void BM_ReadBinaryStream(benchmark::State& state) {
+  auto bytes = as_binary();
+  for (auto _ : state) {
+    auto reader = trace::BinaryReader::from_bytes(bytes);
+    auto all = reader->read_all();
+    benchmark::DoNotOptimize(all);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(all->size()));
+  }
+}
+BENCHMARK(BM_ReadBinaryStream);
+
+void BM_ReadPcap(benchmark::State& state) {
+  auto bytes = as_pcap();
+  for (auto _ : state) {
+    auto reader = trace::PcapReader::from_bytes(bytes);
+    auto all = reader->read_all();
+    benchmark::DoNotOptimize(all);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(all->size()));
+  }
+}
+BENCHMARK(BM_ReadPcap);
+
+void BM_ReadText(benchmark::State& state) {
+  auto text = as_text();
+  for (auto _ : state) {
+    auto all = trace::trace_from_text(text);
+    benchmark::DoNotOptimize(all);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(all->size()));
+  }
+}
+BENCHMARK(BM_ReadText);
+
+void BM_ConvertPcapToBinary(benchmark::State& state) {
+  auto bytes = as_pcap();
+  for (auto _ : state) {
+    auto reader = trace::PcapReader::from_bytes(bytes);
+    trace::BinaryWriter w;
+    while (true) {
+      auto rec = reader->next();
+      if (!rec.ok() || !rec->has_value()) break;
+      w.add(**rec);
+    }
+    benchmark::DoNotOptimize(w.record_count());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(w.record_count()));
+  }
+}
+BENCHMARK(BM_ConvertPcapToBinary);
+
+void BM_ConvertTextToBinary(benchmark::State& state) {
+  auto text = as_text();
+  for (auto _ : state) {
+    auto records = trace::trace_from_text(text);
+    trace::BinaryWriter w;
+    for (const auto& rec : *records) w.add(rec);
+    benchmark::DoNotOptimize(w.record_count());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(w.record_count()));
+  }
+}
+BENCHMARK(BM_ConvertTextToBinary);
+
+}  // namespace
+
+BENCHMARK_MAIN();

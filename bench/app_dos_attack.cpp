@@ -1,0 +1,107 @@
+// Application study: a root/authoritative server under denial-of-service
+// load. §1 motivates LDplayer with exactly this question ("How does current
+// server operate under the stress of a DoS attack?") and §5 lists it among
+// the applications; no figure in the paper shows it, so this binary is the
+// repo's worked example of the workflow: generate attack traffic with the
+// trace tools, mix it over the legitimate workload, replay, and measure
+// server-side cost.
+//
+// Two attack shapes are swept across intensities:
+//  * random-subdomain ("water torture") — cache-busting NXDOMAIN load;
+//  * direct flood — one hot name from spoofed sources.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "simnet/replay_sim.hpp"
+
+using namespace ldp;
+
+namespace {
+
+std::vector<trace::TraceRecord> mix(const std::vector<trace::TraceRecord>& a,
+                                    const std::vector<trace::TraceRecord>& b) {
+  std::vector<trace::TraceRecord> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end(),
+            [](const trace::TraceRecord& x, const trace::TraceRecord& y) {
+              return x.timestamp < y.timestamp;
+            });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("DoS application study",
+                      "server under random-subdomain and flood attacks");
+
+  const TimeNs kDuration = 60 * kSecond;
+  auto legit = bench::broot16_trace(2000, kDuration, 20000, 99);
+  auto server = bench::root_wildcard_server();
+  // The attack victim: a real zone without wildcards, so random-subdomain
+  // queries produce authoritative NXDOMAIN work instead of wildcard hits.
+  {
+    auto victim = zone::parse_zone(R"(
+$ORIGIN victim.example.
+$TTL 3600
+@ IN SOA ns1 admin 1 7200 900 1209600 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+www IN A 192.0.2.80
+)");
+    if (!victim.ok() || !server.default_zones().add(std::move(*victim)).ok())
+      return 1;
+  }
+
+  simnet::SimReplayConfig cfg;
+  cfg.rtt = kMilli;
+  cfg.sample_interval = 10 * kSecond;
+
+  auto baseline = simnet::simulate_replay(legit, server, cfg);
+  std::printf("  baseline (no attack): %llu q, cpu %.2f%%, nxdomain share %.0f%%\n",
+              static_cast<unsigned long long>(baseline.queries),
+              baseline.steady_cpu_percent(2).median,
+              100.0 * static_cast<double>(server.stats().nxdomain.load()) /
+                  static_cast<double>(server.stats().queries.load()));
+
+  std::printf("\n  %-18s %10s %12s %10s %12s %10s\n", "attack", "rate(q/s)",
+              "total q", "cpu med%", "resp MB", "nxdomain");
+  for (auto kind : {synth::AttackTraceSpec::Kind::RandomSubdomain,
+                    synth::AttackTraceSpec::Kind::DirectFlood}) {
+    for (double rate : {2000.0, 10000.0, 50000.0}) {
+      synth::AttackTraceSpec attack;
+      attack.kind = kind;
+      attack.rate_qps = rate;
+      attack.duration_ns = kDuration;
+      attack.victim_domain = kind == synth::AttackTraceSpec::Kind::RandomSubdomain
+                                 ? "victim.example"
+                                 : "www.victim.example";
+      attack.seed = 7;
+      auto combined = mix(legit, synth::make_attack_trace(attack));
+      uint64_t nx_before = server.stats().nxdomain.load();
+      uint64_t q_before = server.stats().queries.load();
+      auto result = simnet::simulate_replay(combined, server, cfg);
+      uint64_t bytes = 0;
+      for (const auto& s : result.samples) bytes += s.response_bytes;
+      double nx_share =
+          100.0 *
+          static_cast<double>(server.stats().nxdomain.load() - nx_before) /
+          static_cast<double>(server.stats().queries.load() - q_before);
+      std::printf("  %-18s %10.0f %12llu %9.2f%% %12.1f %9.0f%%\n",
+                  kind == synth::AttackTraceSpec::Kind::RandomSubdomain
+                      ? "random-subdomain"
+                      : "direct-flood",
+                  rate, static_cast<unsigned long long>(result.queries),
+                  result.steady_cpu_percent(2).median,
+                  static_cast<double>(bytes) / 1e6, nx_share);
+    }
+  }
+
+  std::printf(
+      "\n  reading: CPU scales linearly with attack rate; the random-subdomain\n"
+      "  attack drives the victim's NXDOMAIN share toward 100%% (cache-busting),\n"
+      "  while the flood concentrates on one (cacheable) answer.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared helpers for the figure/table regeneration binaries.
+//
+// Scale note: the paper's experiments replay full DITL root traces (38k+
+// q/s for an hour, 1M+ clients) on a DETER testbed. These benches replay
+// statistically matched workloads scaled to one machine (documented in
+// EXPERIMENTS.md); the comparisons the paper draws — who wins, how curves
+// bend, where discontinuities sit — are preserved, absolute magnitudes of
+// rate/volume are smaller.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "mutate/mutator.hpp"
+#include "server/auth_server.hpp"
+#include "synth/generator.hpp"
+#include "util/stats.hpp"
+#include "zone/parser.hpp"
+
+namespace ldp::bench {
+
+/// Print a boxplot-style row: median [q1, q3] (p5, p95).
+inline void print_summary_row(const std::string& label, const Summary& s,
+                              const char* unit) {
+  std::printf("  %-34s median %9.3f  q1 %9.3f  q3 %9.3f  p5 %9.3f  p95 %9.3f  %s\n",
+              label.c_str(), s.median, s.q1, s.q3, s.p5, s.p95, unit);
+}
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("\n=== %s: %s ===\n", id, title);
+}
+
+/// B-Root-16-like trace (mid-2016 operating point: 72.3%% DO).
+inline std::vector<trace::TraceRecord> broot16_trace(double rate_qps, TimeNs duration,
+                                                     size_t clients, uint64_t seed) {
+  synth::RootTraceSpec spec;
+  spec.mean_rate_qps = rate_qps;
+  spec.duration_ns = duration;
+  spec.client_count = clients;
+  spec.do_fraction = 0.723;
+  spec.tcp_fraction = 0.03;
+  spec.seed = seed;
+  return synth::make_root_trace(spec);
+}
+
+/// A root-like zone with wildcards under each TLD so every replayed query
+/// gets a response (the evaluation hosts names with wildcards, §4.1).
+inline server::AuthServer root_wildcard_server(server::ServerConfig config = {}) {
+  server::AuthServer s(config);
+  // Realistic referral weight: root zone delegations carry several NS
+  // records plus glue (real TLDs have 4-13 nameservers), which sets the
+  // unsigned-response size the DNSSEC experiment's ratios depend on.
+  std::string zone_text = R"(
+$ORIGIN .
+$TTL 86400
+. IN SOA a.root-servers.net. nstld.verisign-grs.com. 2016040600 1800 900 604800 86400
+)";
+  static const char* kRootLetters[] = {"a", "b", "c", "d", "e", "f", "g",
+                                       "h", "i", "j", "k", "l", "m"};
+  for (int i = 0; i < 13; ++i) {
+    zone_text += std::string(". IN NS ") + kRootLetters[i] + ".root-servers.net.\n";
+    zone_text += std::string(kRootLetters[i]) + ".root-servers.net. IN A 198.41.0." +
+                 std::to_string(4 + i) + "\n";
+  }
+  static const char* kTlds[] = {"com", "net", "org", "arpa", "edu", "gov",
+                                "io",  "de",  "uk",  "jp",   "cn",  "fr"};
+  int subnet = 10;
+  for (const char* tld : kTlds) {
+    for (int ns = 0; ns < 4; ++ns) {
+      std::string host =
+          std::string(kRootLetters[ns]) + ".nic-servers." + tld + ".";
+      zone_text += std::string(tld) + ". IN NS " + host + "\n";
+      zone_text += host + " IN A 192." + std::to_string(subnet) + ".6." +
+                   std::to_string(30 + ns) + "\n";
+    }
+    ++subnet;
+  }
+  auto z = zone::parse_zone(zone_text);
+  if (!z.ok()) std::abort();
+  // example.com with wildcards for the synthetic fixed-interval traces.
+  auto example = zone::parse_zone(R"(
+$ORIGIN example.com.
+$TTL 3600
+@ IN SOA ns1 admin 1 7200 900 1209600 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+* IN A 192.0.2.80
+)");
+  if (!example.ok()) std::abort();
+  if (!s.default_zones().add(std::move(*z)).ok()) std::abort();
+  if (!s.default_zones().add(std::move(*example)).ok()) std::abort();
+  return s;
+}
+
+/// Mutate a trace so every query uses `transport` (§5.2's what-if).
+inline std::vector<trace::TraceRecord> force_transport(
+    std::vector<trace::TraceRecord> trace, Transport transport) {
+  mutate::MutatorPipeline pipe;
+  pipe.force_transport(transport);
+  return pipe.apply_all(std::move(trace));
+}
+
+}  // namespace ldp::bench

@@ -1,0 +1,55 @@
+// Figure 11: server CPU usage vs TCP timeout under minimal RTT (<1 ms),
+// B-Root-17a trace, for three workloads: the original trace (3% TCP),
+// all-TCP, and all-TLS.
+//
+// The paper's observations to reproduce: (1) CPU is flat across timeout
+// settings; (2) all-TCP (~5% median) sits BELOW the original 97%-UDP mix
+// (~10%) — the NIC-offload surprise; (3) all-TLS lands at 9-10% with a
+// small bump at the 5 s timeout from extra handshakes.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "simnet/replay_sim.hpp"
+
+using namespace ldp;
+
+int main() {
+  bench::print_header("Figure 11", "CPU usage vs TCP timeout, minimal RTT (<1ms)");
+
+  // B-Root-17a-like (2017 rate, 72.3% DO is close enough for CPU).
+  auto original = bench::broot16_trace(4000, 180 * kSecond, 25000, 11);
+  auto all_tcp = bench::force_transport(original, Transport::Tcp);
+  auto all_tls = bench::force_transport(original, Transport::Tls);
+
+  auto server = bench::root_wildcard_server();
+
+  std::printf("  %-10s %26s %26s %26s\n", "timeout", "original (3% TCP)", "all TCP",
+              "all TLS");
+  std::printf("  %-10s %10s %7s %7s %10s %7s %7s %10s %7s %7s\n", "", "median", "q1",
+              "q3", "median", "q1", "q3", "median", "q1", "q3");
+
+  for (TimeNs timeout = 5 * kSecond; timeout <= 40 * kSecond; timeout += 5 * kSecond) {
+    simnet::SimReplayConfig cfg;
+    cfg.rtt = kMilli / 2;  // <1 ms
+    cfg.idle_timeout = timeout;
+    cfg.sample_interval = 10 * kSecond;
+
+    Summary rows[3];
+    const std::vector<trace::TraceRecord>* traces[3] = {&original, &all_tcp, &all_tls};
+    for (int i = 0; i < 3; ++i) {
+      auto result = simnet::simulate_replay(*traces[i], server, cfg);
+      rows[i] = result.steady_cpu_percent(3);
+    }
+    std::printf("  %7llds  %9.2f%% %6.2f%% %6.2f%% %9.2f%% %6.2f%% %6.2f%% %9.2f%%"
+                " %6.2f%% %6.2f%%\n",
+                static_cast<long long>(timeout / kSecond), rows[0].median, rows[0].q1,
+                rows[0].q3, rows[1].median, rows[1].q1, rows[1].q3, rows[2].median,
+                rows[2].q1, rows[2].q3);
+  }
+
+  std::printf(
+      "\n  Paper reference: flat across timeouts; all-TCP ~5%% median, all-TLS\n"
+      "  9-10%% (2%% higher at the 5 s timeout), original 3%%-TCP trace ~10%% —\n"
+      "  UDP-heavy service costs MORE cpu than all-TCP on offload-capable NICs.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 14: server memory and connection footprint over time with all
+// queries over TLS — the companion to Figure 13. The paper's claims: the
+// connection counts match the TCP experiment (TLS reuses the same
+// connection discipline) while memory runs ~3 GB higher (~18 GB at the
+// 20 s timeout) from per-session TLS state — only ~30% above TCP, versus
+// the 6x jump from UDP to TCP.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "simnet/replay_sim.hpp"
+
+using namespace ldp;
+
+int main() {
+  bench::print_header("Figure 14",
+                      "memory and connections over time, all queries over TLS");
+
+  const TimeNs kTraceDuration = 10 * 60 * kSecond;
+  auto original = bench::broot16_trace(4000, kTraceDuration, 25000, 13);
+  auto all_tcp = bench::force_transport(original, Transport::Tcp);
+  auto all_tls = bench::force_transport(original, Transport::Tls);
+  auto server = bench::root_wildcard_server();
+
+  std::printf("  per-timeout steady state (samples after minute 3):\n");
+  std::printf("  %-9s %14s %14s %14s %14s\n", "timeout", "TLS mem(GB)", "TCP mem(GB)",
+              "established", "TIME_WAIT");
+  for (TimeNs timeout = 5 * kSecond; timeout <= 40 * kSecond; timeout += 5 * kSecond) {
+    simnet::SimReplayConfig cfg;
+    cfg.rtt = kMilli / 2;
+    cfg.idle_timeout = timeout;
+    cfg.sample_interval = 60 * kSecond;
+    auto tls = simnet::simulate_replay(all_tls, server, cfg);
+    auto tcp = simnet::simulate_replay(all_tcp, server, cfg);
+    const auto& last = tls.samples.back();
+    std::printf("  %6llds  %14.2f %14.2f %14zu %14zu\n",
+                static_cast<long long>(timeout / kSecond),
+                tls.steady_memory_gb(3).median, tcp.steady_memory_gb(3).median,
+                last.established, last.time_wait);
+  }
+
+  // Time series at the 20 s operating point (the figure's per-minute view).
+  simnet::SimReplayConfig cfg;
+  cfg.rtt = kMilli / 2;
+  cfg.idle_timeout = 20 * kSecond;
+  cfg.sample_interval = 60 * kSecond;
+  auto tls = simnet::simulate_replay(all_tls, server, cfg);
+  std::printf("\n  20s-timeout TLS time series (per minute):\n");
+  std::printf("    %-4s %12s %14s %14s\n", "min", "mem(GB)", "established",
+              "TIME_WAIT");
+  for (size_t i = 0; i < tls.samples.size(); ++i) {
+    const auto& s = tls.samples[i];
+    std::printf("    %-4zu %12.2f %14zu %14zu\n", i + 1,
+                static_cast<double>(s.memory_bytes) / (1ull << 30), s.established,
+                s.time_wait);
+  }
+
+  std::printf(
+      "\n  Paper reference: ~18 GB at 20 s timeout (TCP: 15 GB, +30%%);\n"
+      "  connection counts indistinguishable from the TCP experiment; steady\n"
+      "  state within ~5 minutes.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 15: query latency vs client-server RTT with a 20 s connection
+// timeout (B-Root-17b), in three panels:
+//   (a) latency over ALL clients — medians stay low because busy clients
+//       (1% of clients, ~75% of load) essentially always reuse connections;
+//   (b) latency over NON-BUSY clients (<250 queries) — TCP median ≈ 2 RTT,
+//       TLS climbing non-linearly from 2 toward 4 RTT as RTT grows;
+//   (c) CDF of per-client query load — the heavy tail behind the split.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "simnet/replay_sim.hpp"
+#include "trace/stats.hpp"
+
+using namespace ldp;
+
+int main() {
+  bench::print_header("Figure 15", "query latency vs RTT, 20s TCP timeout");
+
+  // B-Root-17b-like: the 20-minute subset, scaled. The client population is
+  // kept large relative to the rate so the non-busy majority keeps the
+  // original's sparse per-client cadence (gaps >> the 20 s timeout) — that
+  // sparsity is what panel (b) measures.
+  auto original = bench::broot16_trace(3000, 5 * 60 * kSecond, 100000, 15);
+  auto all_tcp = bench::force_transport(original, Transport::Tcp);
+  auto all_tls = bench::force_transport(original, Transport::Tls);
+  auto server = bench::root_wildcard_server();
+
+  struct Workload {
+    const char* label;
+    const std::vector<trace::TraceRecord>* trace;
+  };
+  const Workload workloads[] = {
+      {"original (3% TCP)", &original}, {"all TCP", &all_tcp}, {"all TLS", &all_tls}};
+
+  // One simulation per (RTT, workload); keep only the summaries.
+  struct Row {
+    int rtt_ms;
+    const char* label;
+    Summary all;
+    Summary nonbusy;
+  };
+  std::vector<Row> table;
+  for (int rtt_ms : {0, 20, 40, 60, 80, 100, 120, 140, 160}) {
+    for (const auto& w : workloads) {
+      simnet::SimReplayConfig cfg;
+      cfg.rtt = rtt_ms == 0 ? kMilli / 2 : rtt_ms * kMilli;
+      cfg.idle_timeout = 20 * kSecond;
+      cfg.sample_interval = 60 * kSecond;
+      cfg.busy_threshold = 250;
+      auto result = simnet::simulate_replay(*w.trace, server, cfg);
+      table.push_back(Row{rtt_ms, w.label, result.latency_all_ms.summary(),
+                          result.latency_nonbusy_ms.summary()});
+    }
+  }
+
+  std::printf("\n  (a) latency over all clients (ms):\n");
+  std::printf("  %-8s %-19s %8s %8s %8s %8s %8s\n", "RTT(ms)", "workload", "p5", "q1",
+              "median", "q3", "p95");
+  for (const auto& row : table) {
+    std::printf("  %-8d %-19s %8.1f %8.1f %8.1f %8.1f %8.1f\n", row.rtt_ms, row.label,
+                row.all.p5, row.all.q1, row.all.median, row.all.q3, row.all.p95);
+  }
+
+  std::printf("\n  (b) latency over non-busy clients (<250 queries) (ms):\n");
+  std::printf("  %-8s %-19s %8s %8s %8s %8s %8s %10s\n", "RTT(ms)", "workload", "p5",
+              "q1", "median", "q3", "p95", "med/RTT");
+  for (const auto& row : table) {
+    double per_rtt = row.rtt_ms > 0 ? row.nonbusy.median / row.rtt_ms : 0;
+    std::printf("  %-8d %-19s %8.1f %8.1f %8.1f %8.1f %8.1f %10.2f\n", row.rtt_ms,
+                row.label, row.nonbusy.p5, row.nonbusy.q1, row.nonbusy.median,
+                row.nonbusy.q3, row.nonbusy.p95, per_rtt);
+  }
+
+  std::printf("\n  (c) CDF of per-client query load (original trace):\n");
+  auto load = trace::per_client_load(original);
+  Sampler load_sampler;
+  uint64_t total_queries = 0;
+  for (const auto& [addr, n] : load) {
+    load_sampler.add(static_cast<double>(n));
+    total_queries += n;
+  }
+  std::printf("    %-6s %12s\n", "pct", "queries/IP");
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.81, 0.90, 0.95, 0.99, 1.0}) {
+    std::printf("    %5.0f%% %12.0f\n", q * 100, load_sampler.quantile(q));
+  }
+  // The busy-client concentration figure the paper quotes.
+  std::vector<uint64_t> counts;
+  counts.reserve(load.size());
+  for (const auto& [addr, n] : load) counts.push_back(n);
+  std::sort(counts.rbegin(), counts.rend());
+  size_t top1 = std::max<size_t>(1, counts.size() / 100);
+  uint64_t top_sum = 0;
+  for (size_t i = 0; i < top1; ++i) top_sum += counts[i];
+  std::printf("    top 1%% of clients carry %.0f%% of queries (paper: ~75%%)\n",
+              100.0 * static_cast<double>(top_sum) / static_cast<double>(total_queries));
+
+  std::printf(
+      "\n  Paper reference: (a) TCP median ~15%% above UDP at 160 ms RTT thanks to\n"
+      "  reuse; (b) non-busy TCP median ~2 RTT (25th pct 1 RTT), TLS median rising\n"
+      "  non-linearly 2 -> 4 RTT; (c) 1%% of clients = 3/4 of load, 81%% send <10.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 7: CDF of query inter-arrival time, original vs replayed.
+//
+// Replays the synthetic fixed-interval traces and a B-Root-like trace over
+// UDP loopback and prints paired CDF points (log-spaced percentiles) for
+// the original timestamps and the actual send times. In the paper the two
+// curves coincide for inter-arrivals >= 10 ms and for the real trace's
+// upper half, diverging for sub-millisecond fixed gaps.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "replay/engine.hpp"
+#include "server/background.hpp"
+
+using namespace ldp;
+
+namespace {
+
+void interarrival_cdf(const char* label, const std::vector<trace::TraceRecord>& trace,
+                      const Endpoint& server) {
+  replay::EngineConfig cfg;
+  cfg.server = server;
+  cfg.drain_grace = kSecond / 2;
+  replay::QueryEngine engine(cfg);
+  auto report = engine.replay(trace);
+  if (!report.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n", report.error().message.c_str());
+    return;
+  }
+
+  Sampler original, replayed;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    original.add(ns_to_sec(trace[i].timestamp - trace[i - 1].timestamp));
+  }
+  // Send times arrive unordered across queriers; sort a copy.
+  std::vector<TimeNs> sends;
+  sends.reserve(report->sends.size());
+  for (const auto& sr : report->sends) sends.push_back(sr.send_time);
+  std::sort(sends.begin(), sends.end());
+  for (size_t i = 1; i < sends.size(); ++i)
+    replayed.add(ns_to_sec(sends[i] - sends[i - 1]));
+
+  std::printf("  %s\n", label);
+  std::printf("    %-6s %14s %14s\n", "pct", "original(s)", "replayed(s)");
+  for (double q : {0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    std::printf("    %5.0f%% %14.6f %14.6f\n", q * 100, original.quantile(q),
+                replayed.quantile(q));
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto bg = server::BackgroundServer::start(bench::root_wildcard_server());
+  if (!bg.ok()) return 1;
+
+  bench::print_header("Figure 7", "inter-arrival CDF, original vs replayed");
+
+  const TimeNs kDuration = 10 * kSecond;
+  struct SynCase {
+    const char* label;
+    TimeNs gap;
+  };
+  const SynCase cases[] = {
+      {"synthetic 0.1 ms", kMilli / 10}, {"synthetic 1 ms", kMilli},
+      {"synthetic 10 ms", 10 * kMilli},  {"synthetic 100 ms", 100 * kMilli},
+      {"synthetic 1 s", kSecond},
+  };
+  for (const auto& c : cases) {
+    synth::FixedTraceSpec spec;
+    spec.interarrival_ns = c.gap;
+    spec.duration_ns = std::max<TimeNs>(kDuration, 4 * c.gap);
+    spec.client_count = 100;
+    spec.seed = 7;
+    interarrival_cdf(c.label, synth::make_fixed_trace(spec), (*bg)->endpoint());
+  }
+
+  auto broot = bench::broot16_trace(2000, kDuration, 5000, 77);
+  interarrival_cdf("B-Root (scaled)", broot, (*bg)->endpoint());
+
+  std::printf(
+      "\n  Paper reference: replayed and original CDFs overlap for gaps >= 10 ms\n"
+      "  and for the bulk of the real trace; sub-ms fixed gaps show jitter because\n"
+      "  syscall overhead approaches the gap itself.\n");
+  return 0;
+}

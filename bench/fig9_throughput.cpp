@@ -1,0 +1,85 @@
+// Figure 9: single-host fast-replay throughput over UDP.
+//
+// Streams a continuous batch of identical queries (www.example.com, §4.3)
+// through the query engine in fast mode (no timers) against the loopback
+// server and samples query rate and bandwidth every two seconds. The paper
+// reaches 87k q/s (60 Mb/s) on a 4-core host with the generator as the
+// bottleneck; a single shared core reaches proportionally less — the flat
+// steady-state shape is the claim under test.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "replay/engine.hpp"
+#include "server/background.hpp"
+
+using namespace ldp;
+
+int main() {
+  auto bg = server::BackgroundServer::start(bench::root_wildcard_server());
+  if (!bg.ok()) return 1;
+
+  bench::print_header("Figure 9", "fast replay throughput (UDP, no timer events)");
+
+  // One batch of identical queries from a handful of sources, as in §4.3
+  // (one distributor, several queriers on one host).
+  const size_t kBatch = 200000;
+  std::vector<trace::TraceRecord> batch;
+  batch.reserve(kBatch);
+  dns::Message q = dns::Message::make_query(1, *dns::Name::parse("www.example.com"),
+                                            dns::RRType::A);
+  auto payload = q.to_wire();
+  size_t query_bytes = payload.size();
+  for (size_t i = 0; i < kBatch; ++i) {
+    trace::TraceRecord rec;
+    rec.timestamp = 0;
+    rec.src = Endpoint{IpAddr{Ip4{10, 0, 0, static_cast<uint8_t>(1 + i % 6)}}, 40000};
+    rec.dst = Endpoint{IpAddr{}, 53};
+    rec.transport = Transport::Udp;
+    rec.direction = trace::Direction::Query;
+    rec.dns_payload = payload;
+    batch.push_back(std::move(rec));
+  }
+
+  std::printf("  %-8s %12s %12s\n", "t(s)", "rate(q/s)", "Mbit/s");
+  TimeNs bench_start = mono_now_ns();
+  uint64_t total = 0;
+  TimeNs last_mark = bench_start;
+  uint64_t last_total = 0;
+
+  // Run repeated fast-mode batches for ~20 s, sampling every ~2 s.
+  while (mono_now_ns() - bench_start < 20 * kSecond) {
+    replay::EngineConfig cfg;
+    cfg.server = (*bg)->endpoint();
+    cfg.timed = false;
+    cfg.distributors = 1;
+    cfg.queriers_per_distributor = 2;
+    cfg.drain_grace = 100 * kMilli;
+    replay::QueryEngine engine(cfg);
+    auto report = engine.replay(batch);
+    if (!report.ok()) break;
+    total += report->queries_sent;
+
+    TimeNs now = mono_now_ns();
+    if (now - last_mark >= 2 * kSecond) {
+      double dt = ns_to_sec(now - last_mark);
+      double rate = static_cast<double>(total - last_total) / dt;
+      double mbps = rate * static_cast<double>(query_bytes + 28) * 8 / 1e6;
+      std::printf("  %8.1f %12.0f %12.1f\n", ns_to_sec(now - bench_start), rate, mbps);
+      last_mark = now;
+      last_total = total;
+    }
+  }
+  double total_dt = ns_to_sec(mono_now_ns() - bench_start);
+  std::printf("  overall: %.0f q/s sent over %.1f s (%zu-byte queries)\n",
+              static_cast<double>(total) / total_dt, total_dt, query_bytes);
+  // Server-side view: what actually got through and was answered (fast-mode
+  // UDP floods overrun loopback buffers; the paper measures at the server).
+  uint64_t answered = (*bg)->auth().stats().queries.load();
+  std::printf("  server answered: %llu (%.0f q/s)\n",
+              static_cast<unsigned long long>(answered),
+              static_cast<double>(answered) / total_dt);
+  std::printf(
+      "\n  Paper reference: 87k q/s (60 Mb/s) sustained flat for 5 minutes on a\n"
+      "  4-core host, generator saturating one core.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 1: DNS traces used in experiments and evaluation.
+//
+// Regenerates the trace inventory with the synthetic stand-ins for the
+// restricted-access captures. Columns mirror the paper's: duration,
+// inter-arrival mean ± stdev (seconds), distinct client IPs, records.
+// Volumes are scaled (documented per row); inter-arrival *shape* matches.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "trace/stats.hpp"
+
+using namespace ldp;
+
+int main() {
+  bench::print_header("Table 1", "DNS traces used in experiments and evaluation");
+  std::printf("  %-12s %9s  %-24s %9s  %12s\n", "trace", "duration",
+              "inter-arrival (s)", "clients", "queries");
+
+  std::vector<std::pair<std::string, std::vector<trace::TraceRecord>>> rows;
+
+  // B-Root-16: one hour at 38k q/s in the paper; here 60 s at 4k q/s.
+  rows.emplace_back("B-Root-16", bench::broot16_trace(4000, 60 * kSecond, 30000, 16));
+
+  // B-Root-17a / 17b: 2017 rate slightly higher (mean inter-arrival 23 µs
+  // vs 27 µs in Table 1); 17b is the 20-minute subset, here 20 s.
+  {
+    synth::RootTraceSpec spec;
+    spec.mean_rate_qps = 4700;
+    spec.duration_ns = 60 * kSecond;
+    spec.client_count = 33000;
+    spec.seed = 17;
+    rows.emplace_back("B-Root-17a", synth::make_root_trace(spec));
+    spec.duration_ns = 20 * kSecond;
+    spec.client_count = 20000;
+    spec.seed = 18;
+    rows.emplace_back("B-Root-17b", synth::make_root_trace(spec));
+  }
+
+  // Rec-17: full scale — the original is small (91 clients, 20k queries).
+  {
+    synth::RecursiveTraceSpec spec;
+    spec.seed = 19;
+    rows.emplace_back("Rec-17", synth::make_recursive_trace(spec));
+  }
+
+  // syn-0..4: fixed inter-arrivals 1 s down to 0.1 ms over 60 s.
+  const TimeNs gaps[] = {kSecond, kSecond / 10, kSecond / 100, kMilli, kMilli / 10};
+  const size_t clients[] = {3000, 9700, 10000, 10000, 10000};
+  for (int i = 0; i < 5; ++i) {
+    synth::FixedTraceSpec spec;
+    spec.interarrival_ns = gaps[i];
+    spec.duration_ns = 60 * kSecond;
+    spec.client_count = clients[i];
+    spec.seed = static_cast<uint64_t>(20 + i);
+    rows.emplace_back("syn-" + std::to_string(i), synth::make_fixed_trace(spec));
+  }
+
+  for (const auto& [name, records] : rows) {
+    auto stats = trace::compute_stats(records);
+    std::printf("  %-12s %8.0fs  %.6f +/- %.6f   %9zu  %12zu\n", name.c_str(),
+                stats.duration_s(), stats.interarrival_mean_s,
+                stats.interarrival_stdev_s, stats.unique_clients, stats.queries);
+  }
+
+  std::printf(
+      "\n  Paper reference (Table 1): B-Root-16 .000027+/-.000619s 1.07M clients"
+      " 137M records;\n  B-Root-17a .000023+/-.001647s; Rec-17 .180799+/-.355360s"
+      " 91 clients 20k records.\n"
+      "  Synthetic stand-ins are volume-scaled; Rec-17 and syn-* are full scale.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: the smallest end-to-end LDplayer-cpp session.
+//
+//  1. parse a zone file and serve it from an in-process authoritative
+//     server;
+//  2. start the same server on a real loopback socket;
+//  3. send it a query over UDP and print the response, dig-style.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <thread>
+
+#include "server/background.hpp"
+#include "zone/parser.hpp"
+
+using namespace ldp;
+
+int main() {
+  // --- 1. a zone, parsed from master-file text --------------------------
+  constexpr const char* kZone = R"(
+$ORIGIN example.com.
+$TTL 3600
+@     IN SOA ns1 admin 2026070600 7200 900 1209600 300
+      IN NS  ns1
+ns1   IN A   192.0.2.1
+www   IN A   192.0.2.80
+www   IN A   192.0.2.81
+alias IN CNAME www
+)";
+  auto zone = zone::parse_zone(kZone);
+  if (!zone.ok()) {
+    std::fprintf(stderr, "zone parse error: %s\n", zone.error().message.c_str());
+    return 1;
+  }
+  std::printf("loaded zone %s: %zu records\n", zone->origin().to_string().c_str(),
+              zone->record_count());
+
+  // --- 2. an authoritative server hosting it ----------------------------
+  server::AuthServer auth;
+  if (auto r = auth.default_zones().add(std::move(*zone)); !r.ok()) {
+    std::fprintf(stderr, "%s\n", r.error().message.c_str());
+    return 1;
+  }
+
+  // In-process answering (no sockets) — what tests and the hierarchy
+  // emulator use:
+  dns::Message query = dns::Message::make_query(
+      1, *dns::Name::parse("alias.example.com"), dns::RRType::A);
+  dns::Message direct = auth.answer(query, IpAddr{Ip4{127, 0, 0, 1}});
+  std::printf("\nin-process answer (CNAME chased):\n%s\n", direct.to_string().c_str());
+
+  // --- 3. the same server on a real loopback endpoint -------------------
+  auto bg = server::BackgroundServer::start(std::move(auth));
+  if (!bg.ok()) {
+    std::fprintf(stderr, "server start: %s\n", bg.error().message.c_str());
+    return 1;
+  }
+  std::printf("server listening on %s (UDP+TCP)\n",
+              (*bg)->endpoint().to_string().c_str());
+
+  auto sock = net::UdpSocket::bind(Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, 0});
+  if (!sock.ok()) return 1;
+  dns::Message q2 =
+      dns::Message::make_query(2, *dns::Name::parse("www.example.com"), dns::RRType::A);
+  if (auto sent = sock->send_to((*bg)->endpoint(), q2.to_wire()); !sent.ok()) return 1;
+
+  for (int i = 0; i < 1000; ++i) {
+    auto dg = sock->recv();
+    if (dg.ok() && dg->has_value()) {
+      auto response = dns::Message::from_wire((*dg)->payload);
+      if (!response.ok()) return 1;
+      std::printf("\nresponse over UDP from %s:\n%s\n",
+                  (*dg)->from.to_string().c_str(), response->to_string().c_str());
+      std::printf("server stats: %llu queries, %llu responses\n",
+                  static_cast<unsigned long long>((*bg)->auth().stats().queries.load()),
+                  static_cast<unsigned long long>((*bg)->auth().stats().responses.load()));
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::fprintf(stderr, "no response received\n");
+  return 1;
+}

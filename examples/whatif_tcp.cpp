@@ -1,0 +1,87 @@
+// What-if workflow (§5.2 in miniature): take a root-server workload that is
+// 97% UDP, ask "what if every query came over TCP? over TLS?", and compare
+// server memory, connection footprint, CPU, and client latency — the
+// LDplayer loop of trace -> mutate -> replay -> measure.
+//
+// Build & run:  ./build/examples/whatif_tcp
+#include <cstdio>
+
+#include "mutate/mutator.hpp"
+#include "simnet/replay_sim.hpp"
+#include "synth/generator.hpp"
+#include "zone/parser.hpp"
+
+using namespace ldp;
+
+namespace {
+
+server::AuthServer make_root_server() {
+  server::AuthServer s;
+  auto z = zone::parse_zone(R"(
+$ORIGIN .
+$TTL 86400
+. IN SOA a.root-servers.net. nstld.example. 1 1800 900 604800 86400
+. IN NS a.root-servers.net.
+a.root-servers.net. IN A 198.41.0.4
+com. IN NS a.gtld-servers.net.
+net. IN NS a.gtld-servers.net.
+org. IN NS a0.org.afilias-nst.info.
+a.gtld-servers.net. IN A 192.5.6.30
+a0.org.afilias-nst.info. IN A 199.19.56.1
+)");
+  if (!z.ok()) std::exit(1);
+  (void)s.default_zones().add(std::move(*z));
+  return s;
+}
+
+void report(const char* label, const simnet::SimReplayResult& r) {
+  auto mem = r.steady_memory_gb(2);
+  auto cpu = r.steady_cpu_percent(2);
+  auto lat = r.latency_all_ms.summary();
+  auto lat_nb = r.latency_nonbusy_ms.summary();
+  std::printf("  %-10s mem %6.2f GB  cpu %5.2f%%  conns opened %7llu"
+              "  reuse %5.1f%%  latency med %6.1f ms (non-busy %6.1f ms)\n",
+              label, mem.median, cpu.median,
+              static_cast<unsigned long long>(r.connections_opened),
+              r.queries > 0 ? 100.0 * static_cast<double>(r.handshakes_reused) /
+                                  static_cast<double>(r.queries)
+                            : 0.0,
+              lat.median, lat_nb.median);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("generating a B-Root-like workload (72.3%% DO, 3%% TCP)...\n");
+  synth::RootTraceSpec spec;
+  spec.mean_rate_qps = 3000;
+  spec.duration_ns = 180 * kSecond;
+  spec.client_count = 15000;
+  spec.seed = 52;
+  auto original = synth::make_root_trace(spec);
+
+  std::printf("mutating: all-TCP and all-TLS variants (query mutator)...\n");
+  mutate::MutatorPipeline to_tcp, to_tls;
+  to_tcp.force_transport(Transport::Tcp);
+  to_tls.force_transport(Transport::Tls);
+  auto all_tcp = to_tcp.apply_all(original);
+  auto all_tls = to_tls.apply_all(original);
+
+  auto server = make_root_server();
+  simnet::SimReplayConfig cfg;
+  cfg.rtt = 40 * kMilli;          // a typical client RTT
+  cfg.idle_timeout = 20 * kSecond;  // the paper's suggested timeout
+  cfg.sample_interval = 30 * kSecond;
+
+  std::printf("\nreplaying three scenarios (40 ms RTT, 20 s idle timeout):\n");
+  report("original", simnet::simulate_replay(original, server, cfg));
+  report("all TCP", simnet::simulate_replay(all_tcp, server, cfg));
+  report("all TLS", simnet::simulate_replay(all_tls, server, cfg));
+
+  std::printf(
+      "\nreading: TCP/TLS memory is dominated by per-connection state, so it\n"
+      "tracks the idle timeout, not the RTT; busy clients hide handshake cost\n"
+      "(compare the all-clients vs non-busy latency medians), exactly the\n"
+      "dynamics the paper reports in Figures 13-15.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// DNS message (RFC 1035 §4) with EDNS(0) (RFC 6891). This is the unit the
+// replay engine sends and the server engine answers; encode/decode are the
+// hottest paths in the system.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/rr.hpp"
+
+namespace ldp::dns {
+
+/// Header flags and counts. Section counts are derived from the Message's
+/// vectors at encode time and are not stored here.
+struct Header {
+  uint16_t id = 0;
+  bool qr = false;  ///< response
+  Opcode opcode = Opcode::Query;
+  bool aa = false;  ///< authoritative answer
+  bool tc = false;  ///< truncated
+  bool rd = false;  ///< recursion desired
+  bool ra = false;  ///< recursion available
+  bool ad = false;  ///< authentic data (DNSSEC)
+  bool cd = false;  ///< checking disabled (DNSSEC)
+  Rcode rcode = Rcode::NoError;
+};
+
+struct Question {
+  Name qname;
+  RRType qtype = RRType::A;
+  RRClass qclass = RRClass::IN;
+
+  bool operator==(const Question& o) const {
+    return qname == o.qname && qtype == o.qtype && qclass == o.qclass;
+  }
+  std::string to_string() const;
+};
+
+/// EDNS(0) OPT pseudo-record contents, kept out of the additional section
+/// so application code never sees the OPT encoding details.
+struct Edns {
+  uint16_t udp_payload_size = 1232;
+  uint8_t extended_rcode = 0;
+  uint8_t version = 0;
+  bool dnssec_ok = false;  ///< the DO bit
+  std::vector<uint8_t> options;  ///< raw EDNS options (code/len/data triples)
+};
+
+class Message {
+ public:
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;  ///< excluding OPT
+  std::optional<Edns> edns;
+
+  /// Parse a full message from wire bytes. The OPT record, if present, is
+  /// lifted out of the additional section into `edns`.
+  static Result<Message> from_wire(std::span<const uint8_t> data);
+
+  /// Encode with name compression. If `max_size` > 0 and the encoding would
+  /// exceed it, sections are emptied and TC is set (RFC 2181 §9 behaviour:
+  /// we do not send partial sets), keeping question + OPT.
+  std::vector<uint8_t> to_wire(size_t max_size = 0) const;
+
+  /// Exact wire size of the full (non-truncated) encoding.
+  size_t wire_size() const { return to_wire(0).size(); }
+
+  /// Convenience: build a query for (qname, qtype).
+  static Message make_query(uint16_t id, const Name& qname, RRType qtype,
+                            bool recursion_desired = true);
+
+  /// Convenience: start a response to `query` (copies id, question, RD;
+  /// mirrors EDNS presence with our defaults).
+  static Message make_response(const Message& query);
+
+  /// Multi-line diagnostic form (dig-style).
+  std::string to_string() const;
+
+  bool operator==(const Message& o) const;
+};
+
+}  // namespace ldp::dns

@@ -1,0 +1,196 @@
+#include "dns/name.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace ldp::dns {
+
+namespace {
+constexpr size_t kMaxLabel = 63;
+constexpr size_t kMaxWire = 255;
+constexpr int kMaxPointerHops = 64;  // defends against pointer loops
+
+char lower(char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); }
+}  // namespace
+
+Result<void> Name::append_label(std::string_view label) {
+  if (label.empty()) return Err("empty label");
+  if (label.size() > kMaxLabel) return Err("label exceeds 63 octets");
+  if (wire_length() + label.size() + 1 > kMaxWire) return Err("name exceeds 255 octets");
+  offsets_.push_back(static_cast<uint16_t>(storage_.size()));
+  for (char c : label) storage_.push_back(lower(c));
+  return Ok();
+}
+
+Result<Name> Name::parse(std::string_view text) {
+  Name name;
+  if (text.empty()) return Err("empty name");
+  if (text == ".") return name;
+
+  std::string label;
+  size_t i = 0;
+  auto flush = [&]() -> Result<void> {
+    LDP_TRY_VOID(name.append_label(label));
+    label.clear();
+    return Ok();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '.') {
+      LDP_TRY_VOID(flush());
+      ++i;
+      if (i == text.size()) return name;  // trailing dot
+      continue;
+    }
+    if (c == '\\') {
+      if (i + 1 >= text.size()) return Err("dangling escape in name");
+      char n1 = text[i + 1];
+      if (std::isdigit(static_cast<unsigned char>(n1))) {
+        if (i + 3 >= text.size() ||
+            !std::isdigit(static_cast<unsigned char>(text[i + 2])) ||
+            !std::isdigit(static_cast<unsigned char>(text[i + 3])))
+          return Err("invalid \\DDD escape in name");
+        int v = (n1 - '0') * 100 + (text[i + 2] - '0') * 10 + (text[i + 3] - '0');
+        if (v > 255) return Err("\\DDD escape out of range");
+        label.push_back(static_cast<char>(v));
+        i += 4;
+      } else {
+        label.push_back(n1);
+        i += 2;
+      }
+      continue;
+    }
+    label.push_back(c);
+    ++i;
+  }
+  if (!label.empty()) LDP_TRY_VOID(flush());
+  return name;
+}
+
+Result<Name> Name::from_wire(ByteReader& rd) {
+  Name name;
+  size_t resume_pos = 0;  // position after the first pointer, 0 = none yet
+  int hops = 0;
+
+  while (true) {
+    uint8_t len = LDP_TRY(rd.u8());
+    if (len == 0) break;
+    uint8_t tag = len & 0xc0;
+    if (tag == 0xc0) {
+      // Compression pointer: 14-bit offset from message start.
+      uint8_t low = LDP_TRY(rd.u8());
+      size_t target = static_cast<size_t>(len & 0x3f) << 8 | low;
+      if (++hops > kMaxPointerHops) return Err("compression pointer loop");
+      if (resume_pos == 0) resume_pos = rd.pos();
+      if (target >= rd.pos() - 2)
+        return Err("forward compression pointer");
+      LDP_TRY_VOID(rd.seek(target));
+      continue;
+    }
+    if (tag != 0) return Err("unsupported label type");
+    auto bytes = LDP_TRY(rd.bytes(len));
+    LDP_TRY_VOID(name.append_label(
+        std::string_view(reinterpret_cast<const char*>(bytes.data()), bytes.size())));
+  }
+  if (resume_pos != 0) LDP_TRY_VOID(rd.seek(resume_pos));
+  return name;
+}
+
+std::string_view Name::label(size_t i) const {
+  return std::string_view(storage_).substr(offsets_[i], label_len(i));
+}
+
+std::string Name::to_string() const {
+  if (is_root()) return ".";
+  std::string out;
+  out.reserve(storage_.size() + offsets_.size());
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    for (char c : label(i)) {
+      if (c == '.' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x21 || static_cast<unsigned char>(c) > 0x7e) {
+        char buf[5];
+        std::snprintf(buf, sizeof(buf), "\\%03u", static_cast<unsigned char>(c));
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('.');
+  }
+  return out;
+}
+
+void Name::to_wire(ByteWriter& w) const {
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    auto l = label(i);
+    w.u8(static_cast<uint8_t>(l.size()));
+    w.bytes(l);
+  }
+  w.u8(0);
+}
+
+bool Name::is_subdomain_of(const Name& other) const {
+  if (other.label_count() > label_count()) return false;
+  size_t skip = label_count() - other.label_count();
+  for (size_t i = 0; i < other.label_count(); ++i) {
+    if (label(skip + i) != other.label(i)) return false;
+  }
+  return true;
+}
+
+Name Name::parent() const {
+  Name out;
+  for (size_t i = 1; i < label_count(); ++i) {
+    auto r = out.append_label(label(i));
+    (void)r;  // labels came from a valid name; cannot fail
+  }
+  return out;
+}
+
+Name Name::suffix(size_t count) const {
+  Name out;
+  for (size_t i = label_count() - count; i < label_count(); ++i) {
+    auto r = out.append_label(label(i));
+    (void)r;  // labels came from a valid name; cannot fail
+  }
+  return out;
+}
+
+Result<Name> Name::with_prefix_label(std::string_view label_text) const {
+  Name out;
+  LDP_TRY_VOID(out.append_label(label_text));
+  for (size_t i = 0; i < label_count(); ++i) LDP_TRY_VOID(out.append_label(label(i)));
+  return out;
+}
+
+size_t Name::common_suffix_labels(const Name& other) const {
+  size_t n = std::min(label_count(), other.label_count());
+  size_t shared = 0;
+  while (shared < n &&
+         label(label_count() - 1 - shared) == other.label(other.label_count() - 1 - shared))
+    ++shared;
+  return shared;
+}
+
+bool Name::operator<(const Name& o) const {
+  // Canonical order: compare labels right-to-left; shorter name first on tie.
+  size_t n = std::min(label_count(), o.label_count());
+  for (size_t i = 0; i < n; ++i) {
+    auto a = label(label_count() - 1 - i);
+    auto b = o.label(o.label_count() - 1 - i);
+    if (a != b) return a < b;
+  }
+  return label_count() < o.label_count();
+}
+
+size_t Name::hash() const {
+  size_t h = 1469598103934665603ull;
+  for (char c : storage_) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  h = (h ^ offsets_.size()) * 1099511628211ull;
+  return h;
+}
+
+}  // namespace ldp::dns

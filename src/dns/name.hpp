@@ -1,0 +1,92 @@
+// Domain names (RFC 1035 §3.1): a sequence of labels, case-insensitive,
+// max 255 octets wire length, 63 octets per label. Names are the primary key
+// of every DNS data structure here (zones, caches, compression maps), so the
+// representation favours cheap comparison: labels stored lowercased
+// back-to-back in one string with a separate length index.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace ldp::dns {
+
+class Name {
+ public:
+  /// The root name (zero labels).
+  Name() = default;
+
+  /// Parse presentation format ("www.example.com", trailing dot optional,
+  /// "." is the root). Handles \DDD escapes and \X quoting.
+  static Result<Name> parse(std::string_view text);
+
+  /// Decode from wire format at the reader's cursor, following compression
+  /// pointers (which may point anywhere earlier in the message). The cursor
+  /// ends just past this name's encoding, regardless of pointer chasing.
+  static Result<Name> from_wire(ByteReader& rd);
+
+  /// Append one label (raw bytes, already unescaped). Fails if the label is
+  /// empty, exceeds 63 octets, or would push the name past 255 octets.
+  Result<void> append_label(std::string_view label);
+
+  size_t label_count() const { return offsets_.size(); }
+  bool is_root() const { return offsets_.empty(); }
+
+  /// Label i, 0 = leftmost (least significant). Lowercased raw bytes.
+  std::string_view label(size_t i) const;
+
+  /// Wire-format length in octets (labels + length bytes + root byte).
+  size_t wire_length() const { return storage_.size() + offsets_.size() + 1; }
+
+  /// Presentation format with trailing dot ("www.example.com.", root = ".").
+  std::string to_string() const;
+
+  /// Encode without compression.
+  void to_wire(ByteWriter& w) const;
+
+  /// True if this name equals `other` or is underneath it
+  /// (www.example.com is_subdomain_of example.com and of the root).
+  bool is_subdomain_of(const Name& other) const;
+
+  /// Name with the leftmost label removed. Precondition: !is_root().
+  Name parent() const;
+
+  /// The rightmost `count` labels ("example.com" for suffix(2) of
+  /// "www.example.com"). Precondition: count <= label_count().
+  Name suffix(size_t count) const;
+
+  /// New name = label + this ("www" prepended to example.com).
+  Result<Name> with_prefix_label(std::string_view label) const;
+
+  /// Number of trailing labels shared with `other` (root counts as 0 here;
+  /// used to find the closest enclosing zone).
+  size_t common_suffix_labels(const Name& other) const;
+
+  bool operator==(const Name& o) const { return storage_ == o.storage_ && offsets_ == o.offsets_; }
+  bool operator!=(const Name& o) const { return !(*this == o); }
+  /// Canonical DNS ordering (RFC 4034 §6.1): by label from the right.
+  bool operator<(const Name& o) const;
+
+  size_t hash() const;
+
+ private:
+  // Labels lowercased, concatenated without separators; offsets_[i] is the
+  // start of label i in storage_. Lengths are implied by the next offset.
+  std::string storage_;
+  std::vector<uint16_t> offsets_;
+
+  size_t label_len(size_t i) const {
+    return (i + 1 < offsets_.size() ? offsets_[i + 1] : storage_.size()) - offsets_[i];
+  }
+};
+
+struct NameHash {
+  size_t operator()(const Name& n) const { return n.hash(); }
+};
+
+}  // namespace ldp::dns

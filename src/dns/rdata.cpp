@@ -1,0 +1,579 @@
+#include "dns/rdata.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+#include "dns/wire.hpp"
+#include "util/base64.hpp"
+#include "util/strings.hpp"
+
+namespace ldp::dns {
+
+namespace {
+
+Result<Name> read_name(ByteReader& rd) { return Name::from_wire(rd); }
+
+std::string quote_txt(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20 || static_cast<unsigned char>(c) > 0x7e) {
+      char buf[5];
+      std::snprintf(buf, sizeof(buf), "\\%03u", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+Result<std::string> unquote_txt(std::string_view tok) {
+  std::string out;
+  std::string_view body = tok;
+  if (body.size() >= 2 && body.front() == '"' && body.back() == '"')
+    body = body.substr(1, body.size() - 2);
+  for (size_t i = 0; i < body.size();) {
+    if (body[i] == '\\') {
+      if (i + 1 >= body.size()) return Err("dangling escape in string");
+      if (std::isdigit(static_cast<unsigned char>(body[i + 1]))) {
+        if (i + 3 >= body.size()) return Err("bad \\DDD escape");
+        int v = (body[i + 1] - '0') * 100 + (body[i + 2] - '0') * 10 + (body[i + 3] - '0');
+        if (v > 255) return Err("\\DDD escape out of range");
+        out.push_back(static_cast<char>(v));
+        i += 4;
+      } else {
+        out.push_back(body[i + 1]);
+        i += 2;
+      }
+    } else {
+      out.push_back(body[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> tok_u64(const std::vector<std::string_view>& toks, size_t i) {
+  if (i >= toks.size()) return Err("missing integer field");
+  return parse_u64(toks[i]);
+}
+
+Result<Name> tok_name(const std::vector<std::string_view>& toks, size_t i) {
+  if (i >= toks.size()) return Err("missing name field");
+  return Name::parse(toks[i]);
+}
+
+// NSEC type bitmap (RFC 4034 §4.1.2).
+void write_type_bitmap(ByteWriter& w, const std::vector<RRType>& types) {
+  // Group type values by window (high byte).
+  std::vector<uint16_t> values;
+  values.reserve(types.size());
+  for (RRType t : types) values.push_back(static_cast<uint16_t>(t));
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  size_t i = 0;
+  while (i < values.size()) {
+    uint8_t window = static_cast<uint8_t>(values[i] >> 8);
+    uint8_t bitmap[32] = {0};
+    int max_octet = -1;
+    while (i < values.size() && (values[i] >> 8) == window) {
+      uint8_t low = static_cast<uint8_t>(values[i] & 0xff);
+      bitmap[low / 8] |= static_cast<uint8_t>(0x80 >> (low % 8));
+      max_octet = std::max(max_octet, low / 8);
+      ++i;
+    }
+    w.u8(window);
+    w.u8(static_cast<uint8_t>(max_octet + 1));
+    w.bytes(std::span<const uint8_t>(bitmap, static_cast<size_t>(max_octet + 1)));
+  }
+}
+
+Result<std::vector<RRType>> read_type_bitmap(ByteReader& rd, size_t end_pos) {
+  std::vector<RRType> types;
+  while (rd.pos() < end_pos) {
+    uint8_t window = LDP_TRY(rd.u8());
+    uint8_t len = LDP_TRY(rd.u8());
+    if (len == 0 || len > 32) return Err("invalid NSEC bitmap length");
+    auto octets = LDP_TRY(rd.bytes(len));
+    for (size_t i = 0; i < octets.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        if (octets[i] & (0x80 >> bit)) {
+          types.push_back(static_cast<RRType>(window << 8 | (i * 8 + static_cast<size_t>(bit))));
+        }
+      }
+    }
+  }
+  return types;
+}
+
+}  // namespace
+
+Result<Rdata> Rdata::from_wire(RRType type, ByteReader& rd, size_t rdlength) {
+  size_t end = rd.pos() + rdlength;
+  if (end > rd.size()) return Err("RDATA extends past message");
+
+  auto check_consumed = [&](Rdata r) -> Result<Rdata> {
+    if (rd.pos() != end) return Err("RDATA length mismatch");
+    return r;
+  };
+
+  switch (type) {
+    case RRType::A: {
+      if (rdlength != 4) return Err("A RDATA must be 4 bytes");
+      uint32_t v = LDP_TRY(rd.u32());
+      return Rdata{AData{Ip4{v}}};
+    }
+    case RRType::AAAA: {
+      if (rdlength != 16) return Err("AAAA RDATA must be 16 bytes");
+      auto b = LDP_TRY(rd.bytes(16));
+      std::array<uint8_t, 16> arr;
+      std::copy(b.begin(), b.end(), arr.begin());
+      return Rdata{AaaaData{Ip6{arr}}};
+    }
+    case RRType::NS:
+    case RRType::CNAME:
+    case RRType::PTR: {
+      Name n = LDP_TRY(read_name(rd));
+      return check_consumed(Rdata{NameData{std::move(n)}});
+    }
+    case RRType::SOA: {
+      SoaData soa;
+      soa.mname = LDP_TRY(read_name(rd));
+      soa.rname = LDP_TRY(read_name(rd));
+      soa.serial = LDP_TRY(rd.u32());
+      soa.refresh = LDP_TRY(rd.u32());
+      soa.retry = LDP_TRY(rd.u32());
+      soa.expire = LDP_TRY(rd.u32());
+      soa.minimum = LDP_TRY(rd.u32());
+      return check_consumed(Rdata{std::move(soa)});
+    }
+    case RRType::MX: {
+      MxData mx;
+      mx.preference = LDP_TRY(rd.u16());
+      mx.exchange = LDP_TRY(read_name(rd));
+      return check_consumed(Rdata{std::move(mx)});
+    }
+    case RRType::TXT: {
+      TxtData txt;
+      while (rd.pos() < end) {
+        uint8_t len = LDP_TRY(rd.u8());
+        auto b = LDP_TRY(rd.bytes(len));
+        txt.strings.emplace_back(reinterpret_cast<const char*>(b.data()), b.size());
+      }
+      return check_consumed(Rdata{std::move(txt)});
+    }
+    case RRType::SRV: {
+      SrvData srv;
+      srv.priority = LDP_TRY(rd.u16());
+      srv.weight = LDP_TRY(rd.u16());
+      srv.port = LDP_TRY(rd.u16());
+      srv.target = LDP_TRY(read_name(rd));
+      return check_consumed(Rdata{std::move(srv)});
+    }
+    case RRType::DS: {
+      DsData ds;
+      ds.key_tag = LDP_TRY(rd.u16());
+      ds.algorithm = LDP_TRY(rd.u8());
+      ds.digest_type = LDP_TRY(rd.u8());
+      ds.digest = LDP_TRY(rd.bytes_copy(end - rd.pos()));
+      return check_consumed(Rdata{std::move(ds)});
+    }
+    case RRType::DNSKEY: {
+      DnskeyData k;
+      k.flags = LDP_TRY(rd.u16());
+      k.protocol = LDP_TRY(rd.u8());
+      k.algorithm = LDP_TRY(rd.u8());
+      k.public_key = LDP_TRY(rd.bytes_copy(end - rd.pos()));
+      return check_consumed(Rdata{std::move(k)});
+    }
+    case RRType::RRSIG: {
+      RrsigData sig;
+      sig.type_covered = static_cast<RRType>(LDP_TRY(rd.u16()));
+      sig.algorithm = LDP_TRY(rd.u8());
+      sig.labels = LDP_TRY(rd.u8());
+      sig.original_ttl = LDP_TRY(rd.u32());
+      sig.expiration = LDP_TRY(rd.u32());
+      sig.inception = LDP_TRY(rd.u32());
+      sig.key_tag = LDP_TRY(rd.u16());
+      sig.signer = LDP_TRY(read_name(rd));
+      if (rd.pos() > end) return Err("RRSIG signer past RDATA");
+      sig.signature = LDP_TRY(rd.bytes_copy(end - rd.pos()));
+      return check_consumed(Rdata{std::move(sig)});
+    }
+    case RRType::NSEC: {
+      NsecData nsec;
+      nsec.next = LDP_TRY(read_name(rd));
+      if (rd.pos() > end) return Err("NSEC next past RDATA");
+      nsec.types = LDP_TRY(read_type_bitmap(rd, end));
+      return check_consumed(Rdata{std::move(nsec)});
+    }
+    case RRType::NAPTR: {
+      NaptrData naptr;
+      naptr.order = LDP_TRY(rd.u16());
+      naptr.preference = LDP_TRY(rd.u16());
+      auto read_cstr = [&rd]() -> Result<std::string> {
+        uint8_t len = LDP_TRY(rd.u8());
+        auto b = LDP_TRY(rd.bytes(len));
+        return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+      };
+      naptr.flags = LDP_TRY(read_cstr());
+      naptr.services = LDP_TRY(read_cstr());
+      naptr.regexp = LDP_TRY(read_cstr());
+      naptr.replacement = LDP_TRY(read_name(rd));
+      return check_consumed(Rdata{std::move(naptr)});
+    }
+    case RRType::CAA: {
+      CaaData caa;
+      caa.flags = LDP_TRY(rd.u8());
+      uint8_t tag_len = LDP_TRY(rd.u8());
+      if (tag_len == 0) return Err("empty CAA tag");
+      auto tag = LDP_TRY(rd.bytes(tag_len));
+      caa.tag.assign(reinterpret_cast<const char*>(tag.data()), tag.size());
+      if (rd.pos() > end) return Err("CAA tag past RDATA");
+      auto value = LDP_TRY(rd.bytes(end - rd.pos()));
+      caa.value.assign(reinterpret_cast<const char*>(value.data()), value.size());
+      return check_consumed(Rdata{std::move(caa)});
+    }
+    default: {
+      OpaqueData op;
+      op.bytes = LDP_TRY(rd.bytes_copy(rdlength));
+      return Rdata{std::move(op)};
+    }
+  }
+}
+
+void Rdata::to_wire(RRType type, ByteWriter& w, NameCompressor* compressor) const {
+  size_t len_pos = w.size();
+  w.u16(0);  // RDLENGTH, patched below
+  size_t start = w.size();
+
+  auto put_name = [&](const Name& n, bool may_compress) {
+    if (compressor != nullptr) {
+      compressor->write_name(w, n, may_compress);
+    } else {
+      n.to_wire(w);
+    }
+  };
+
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, AData>) {
+          w.u32(v.addr.value());
+        } else if constexpr (std::is_same_v<T, AaaaData>) {
+          w.bytes(std::span<const uint8_t>(v.addr.bytes()));
+        } else if constexpr (std::is_same_v<T, NameData>) {
+          put_name(v.name, true);
+        } else if constexpr (std::is_same_v<T, SoaData>) {
+          put_name(v.mname, true);
+          put_name(v.rname, true);
+          w.u32(v.serial);
+          w.u32(v.refresh);
+          w.u32(v.retry);
+          w.u32(v.expire);
+          w.u32(v.minimum);
+        } else if constexpr (std::is_same_v<T, MxData>) {
+          w.u16(v.preference);
+          put_name(v.exchange, true);
+        } else if constexpr (std::is_same_v<T, TxtData>) {
+          for (const auto& s : v.strings) {
+            w.u8(static_cast<uint8_t>(s.size()));
+            w.bytes(s);
+          }
+        } else if constexpr (std::is_same_v<T, SrvData>) {
+          w.u16(v.priority);
+          w.u16(v.weight);
+          w.u16(v.port);
+          put_name(v.target, false);
+        } else if constexpr (std::is_same_v<T, DsData>) {
+          w.u16(v.key_tag);
+          w.u8(v.algorithm);
+          w.u8(v.digest_type);
+          w.bytes(std::span<const uint8_t>(v.digest));
+        } else if constexpr (std::is_same_v<T, DnskeyData>) {
+          w.u16(v.flags);
+          w.u8(v.protocol);
+          w.u8(v.algorithm);
+          w.bytes(std::span<const uint8_t>(v.public_key));
+        } else if constexpr (std::is_same_v<T, RrsigData>) {
+          w.u16(static_cast<uint16_t>(v.type_covered));
+          w.u8(v.algorithm);
+          w.u8(v.labels);
+          w.u32(v.original_ttl);
+          w.u32(v.expiration);
+          w.u32(v.inception);
+          w.u16(v.key_tag);
+          put_name(v.signer, false);
+          w.bytes(std::span<const uint8_t>(v.signature));
+        } else if constexpr (std::is_same_v<T, NsecData>) {
+          put_name(v.next, false);
+          write_type_bitmap(w, v.types);
+        } else if constexpr (std::is_same_v<T, NaptrData>) {
+          w.u16(v.order);
+          w.u16(v.preference);
+          for (const std::string* s : {&v.flags, &v.services, &v.regexp}) {
+            w.u8(static_cast<uint8_t>(s->size()));
+            w.bytes(*s);
+          }
+          put_name(v.replacement, false);
+        } else if constexpr (std::is_same_v<T, CaaData>) {
+          w.u8(v.flags);
+          w.u8(static_cast<uint8_t>(v.tag.size()));
+          w.bytes(v.tag);
+          w.bytes(v.value);
+        } else if constexpr (std::is_same_v<T, OpaqueData>) {
+          w.bytes(std::span<const uint8_t>(v.bytes));
+        }
+      },
+      value_);
+
+  (void)type;
+  w.patch_u16(len_pos, static_cast<uint16_t>(w.size() - start));
+}
+
+std::string Rdata::to_string(RRType type) const {
+  (void)type;
+  char buf[64];
+  return std::visit(
+      [&](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, AData>) {
+          return v.addr.to_string();
+        } else if constexpr (std::is_same_v<T, AaaaData>) {
+          return v.addr.to_string();
+        } else if constexpr (std::is_same_v<T, NameData>) {
+          return v.name.to_string();
+        } else if constexpr (std::is_same_v<T, SoaData>) {
+          std::snprintf(buf, sizeof(buf), " %u %u %u %u %u", v.serial, v.refresh,
+                        v.retry, v.expire, v.minimum);
+          return v.mname.to_string() + " " + v.rname.to_string() + buf;
+        } else if constexpr (std::is_same_v<T, MxData>) {
+          return std::to_string(v.preference) + " " + v.exchange.to_string();
+        } else if constexpr (std::is_same_v<T, TxtData>) {
+          std::string out;
+          for (const auto& s : v.strings) {
+            if (!out.empty()) out += " ";
+            out += quote_txt(s);
+          }
+          return out;
+        } else if constexpr (std::is_same_v<T, SrvData>) {
+          std::snprintf(buf, sizeof(buf), "%u %u %u ", v.priority, v.weight, v.port);
+          return buf + v.target.to_string();
+        } else if constexpr (std::is_same_v<T, DsData>) {
+          std::snprintf(buf, sizeof(buf), "%u %u %u ", v.key_tag, v.algorithm,
+                        v.digest_type);
+          return buf + to_hex(v.digest);
+        } else if constexpr (std::is_same_v<T, DnskeyData>) {
+          std::snprintf(buf, sizeof(buf), "%u %u %u ", v.flags, v.protocol, v.algorithm);
+          return buf + base64_encode(v.public_key);
+        } else if constexpr (std::is_same_v<T, RrsigData>) {
+          std::snprintf(buf, sizeof(buf), " %u %u %u %u %u %u ", v.algorithm, v.labels,
+                        v.original_ttl, v.expiration, v.inception, v.key_tag);
+          return rrtype_to_string(v.type_covered) + buf + v.signer.to_string() + " " +
+                 base64_encode(v.signature);
+        } else if constexpr (std::is_same_v<T, NsecData>) {
+          std::string out = v.next.to_string();
+          for (RRType t : v.types) out += " " + rrtype_to_string(t);
+          return out;
+        } else if constexpr (std::is_same_v<T, NaptrData>) {
+          std::snprintf(buf, sizeof(buf), "%u %u ", v.order, v.preference);
+          return buf + quote_txt(v.flags) + " " + quote_txt(v.services) + " " +
+                 quote_txt(v.regexp) + " " + v.replacement.to_string();
+        } else if constexpr (std::is_same_v<T, CaaData>) {
+          return std::to_string(v.flags) + " " + v.tag + " " + quote_txt(v.value);
+        } else if constexpr (std::is_same_v<T, OpaqueData>) {
+          return "\\# " + std::to_string(v.bytes.size()) + " " + to_hex(v.bytes);
+        }
+      },
+      value_);
+}
+
+Result<Rdata> Rdata::parse(RRType type, const std::vector<std::string_view>& toks) {
+  switch (type) {
+    case RRType::A: {
+      if (toks.size() != 1) return Err("A takes one address");
+      return Rdata{AData{LDP_TRY(Ip4::parse(toks[0]))}};
+    }
+    case RRType::AAAA: {
+      if (toks.size() != 1) return Err("AAAA takes one address");
+      return Rdata{AaaaData{LDP_TRY(Ip6::parse(toks[0]))}};
+    }
+    case RRType::NS:
+    case RRType::CNAME:
+    case RRType::PTR: {
+      if (toks.size() != 1) return Err("expected one name");
+      return Rdata{NameData{LDP_TRY(Name::parse(toks[0]))}};
+    }
+    case RRType::SOA: {
+      if (toks.size() != 7) return Err("SOA takes 7 fields");
+      SoaData soa;
+      soa.mname = LDP_TRY(tok_name(toks, 0));
+      soa.rname = LDP_TRY(tok_name(toks, 1));
+      soa.serial = static_cast<uint32_t>(LDP_TRY(tok_u64(toks, 2)));
+      soa.refresh = static_cast<uint32_t>(LDP_TRY(tok_u64(toks, 3)));
+      soa.retry = static_cast<uint32_t>(LDP_TRY(tok_u64(toks, 4)));
+      soa.expire = static_cast<uint32_t>(LDP_TRY(tok_u64(toks, 5)));
+      soa.minimum = static_cast<uint32_t>(LDP_TRY(tok_u64(toks, 6)));
+      return Rdata{std::move(soa)};
+    }
+    case RRType::MX: {
+      if (toks.size() != 2) return Err("MX takes 2 fields");
+      MxData mx;
+      mx.preference = static_cast<uint16_t>(LDP_TRY(tok_u64(toks, 0)));
+      mx.exchange = LDP_TRY(tok_name(toks, 1));
+      return Rdata{std::move(mx)};
+    }
+    case RRType::TXT: {
+      if (toks.empty()) return Err("TXT needs at least one string");
+      TxtData txt;
+      for (auto t : toks) txt.strings.push_back(LDP_TRY(unquote_txt(t)));
+      return Rdata{std::move(txt)};
+    }
+    case RRType::SRV: {
+      if (toks.size() != 4) return Err("SRV takes 4 fields");
+      SrvData srv;
+      srv.priority = static_cast<uint16_t>(LDP_TRY(tok_u64(toks, 0)));
+      srv.weight = static_cast<uint16_t>(LDP_TRY(tok_u64(toks, 1)));
+      srv.port = static_cast<uint16_t>(LDP_TRY(tok_u64(toks, 2)));
+      srv.target = LDP_TRY(tok_name(toks, 3));
+      return Rdata{std::move(srv)};
+    }
+    case RRType::DS: {
+      if (toks.size() < 4) return Err("DS takes 4 fields");
+      DsData ds;
+      ds.key_tag = static_cast<uint16_t>(LDP_TRY(tok_u64(toks, 0)));
+      ds.algorithm = static_cast<uint8_t>(LDP_TRY(tok_u64(toks, 1)));
+      ds.digest_type = static_cast<uint8_t>(LDP_TRY(tok_u64(toks, 2)));
+      std::string hex;
+      for (size_t i = 3; i < toks.size(); ++i) hex += toks[i];
+      ds.digest = LDP_TRY(from_hex(hex));
+      return Rdata{std::move(ds)};
+    }
+    case RRType::DNSKEY: {
+      if (toks.size() < 4) return Err("DNSKEY takes 4 fields");
+      DnskeyData k;
+      k.flags = static_cast<uint16_t>(LDP_TRY(tok_u64(toks, 0)));
+      k.protocol = static_cast<uint8_t>(LDP_TRY(tok_u64(toks, 1)));
+      k.algorithm = static_cast<uint8_t>(LDP_TRY(tok_u64(toks, 2)));
+      std::string b64;
+      for (size_t i = 3; i < toks.size(); ++i) b64 += toks[i];
+      k.public_key = LDP_TRY(base64_decode(b64));
+      return Rdata{std::move(k)};
+    }
+    case RRType::RRSIG: {
+      if (toks.size() < 9) return Err("RRSIG takes 9 fields");
+      RrsigData sig;
+      sig.type_covered = LDP_TRY(rrtype_from_string(toks[0]));
+      sig.algorithm = static_cast<uint8_t>(LDP_TRY(tok_u64(toks, 1)));
+      sig.labels = static_cast<uint8_t>(LDP_TRY(tok_u64(toks, 2)));
+      sig.original_ttl = static_cast<uint32_t>(LDP_TRY(tok_u64(toks, 3)));
+      sig.expiration = static_cast<uint32_t>(LDP_TRY(tok_u64(toks, 4)));
+      sig.inception = static_cast<uint32_t>(LDP_TRY(tok_u64(toks, 5)));
+      sig.key_tag = static_cast<uint16_t>(LDP_TRY(tok_u64(toks, 6)));
+      sig.signer = LDP_TRY(tok_name(toks, 7));
+      std::string b64;
+      for (size_t i = 8; i < toks.size(); ++i) b64 += toks[i];
+      sig.signature = LDP_TRY(base64_decode(b64));
+      return Rdata{std::move(sig)};
+    }
+    case RRType::NAPTR: {
+      if (toks.size() != 6) return Err("NAPTR takes 6 fields");
+      NaptrData naptr;
+      naptr.order = static_cast<uint16_t>(LDP_TRY(tok_u64(toks, 0)));
+      naptr.preference = static_cast<uint16_t>(LDP_TRY(tok_u64(toks, 1)));
+      naptr.flags = LDP_TRY(unquote_txt(toks[2]));
+      naptr.services = LDP_TRY(unquote_txt(toks[3]));
+      naptr.regexp = LDP_TRY(unquote_txt(toks[4]));
+      naptr.replacement = LDP_TRY(tok_name(toks, 5));
+      return Rdata{std::move(naptr)};
+    }
+    case RRType::CAA: {
+      if (toks.size() != 3) return Err("CAA takes 3 fields");
+      CaaData caa;
+      caa.flags = static_cast<uint8_t>(LDP_TRY(tok_u64(toks, 0)));
+      caa.tag = std::string(toks[1]);
+      caa.value = LDP_TRY(unquote_txt(toks[2]));
+      return Rdata{std::move(caa)};
+    }
+    case RRType::NSEC: {
+      if (toks.empty()) return Err("NSEC takes a next name");
+      NsecData nsec;
+      nsec.next = LDP_TRY(tok_name(toks, 0));
+      for (size_t i = 1; i < toks.size(); ++i)
+        nsec.types.push_back(LDP_TRY(rrtype_from_string(toks[i])));
+      return Rdata{std::move(nsec)};
+    }
+    default: {
+      // RFC 3597 generic form: \# <length> <hex...>
+      if (toks.size() >= 2 && toks[0] == "\\#") {
+        uint64_t len = LDP_TRY(tok_u64(toks, 1));
+        std::string hex;
+        for (size_t i = 2; i < toks.size(); ++i) hex += toks[i];
+        OpaqueData op;
+        op.bytes = LDP_TRY(from_hex(hex));
+        if (op.bytes.size() != len) return Err("\\# length mismatch");
+        return Rdata{std::move(op)};
+      }
+      return Err("cannot parse RDATA for " + rrtype_to_string(type));
+    }
+  }
+}
+
+bool Rdata::operator==(const Rdata& o) const {
+  if (value_.index() != o.value_.index()) return false;
+  return std::visit(
+      [&](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        const auto& b = std::get<T>(o.value_);
+        if constexpr (std::is_same_v<T, AData>) {
+          return a.addr == b.addr;
+        } else if constexpr (std::is_same_v<T, AaaaData>) {
+          return a.addr == b.addr;
+        } else if constexpr (std::is_same_v<T, NameData>) {
+          return a.name == b.name;
+        } else if constexpr (std::is_same_v<T, SoaData>) {
+          return a.mname == b.mname && a.rname == b.rname && a.serial == b.serial &&
+                 a.refresh == b.refresh && a.retry == b.retry && a.expire == b.expire &&
+                 a.minimum == b.minimum;
+        } else if constexpr (std::is_same_v<T, MxData>) {
+          return a.preference == b.preference && a.exchange == b.exchange;
+        } else if constexpr (std::is_same_v<T, TxtData>) {
+          return a.strings == b.strings;
+        } else if constexpr (std::is_same_v<T, SrvData>) {
+          return a.priority == b.priority && a.weight == b.weight && a.port == b.port &&
+                 a.target == b.target;
+        } else if constexpr (std::is_same_v<T, DsData>) {
+          return a.key_tag == b.key_tag && a.algorithm == b.algorithm &&
+                 a.digest_type == b.digest_type && a.digest == b.digest;
+        } else if constexpr (std::is_same_v<T, DnskeyData>) {
+          return a.flags == b.flags && a.protocol == b.protocol &&
+                 a.algorithm == b.algorithm && a.public_key == b.public_key;
+        } else if constexpr (std::is_same_v<T, RrsigData>) {
+          return a.type_covered == b.type_covered && a.algorithm == b.algorithm &&
+                 a.labels == b.labels && a.original_ttl == b.original_ttl &&
+                 a.expiration == b.expiration && a.inception == b.inception &&
+                 a.key_tag == b.key_tag && a.signer == b.signer &&
+                 a.signature == b.signature;
+        } else if constexpr (std::is_same_v<T, NsecData>) {
+          return a.next == b.next && a.types == b.types;
+        } else if constexpr (std::is_same_v<T, NaptrData>) {
+          return a.order == b.order && a.preference == b.preference &&
+                 a.flags == b.flags && a.services == b.services &&
+                 a.regexp == b.regexp && a.replacement == b.replacement;
+        } else if constexpr (std::is_same_v<T, CaaData>) {
+          return a.flags == b.flags && a.tag == b.tag && a.value == b.value;
+        } else if constexpr (std::is_same_v<T, OpaqueData>) {
+          return a.bytes == b.bytes;
+        }
+      },
+      value_);
+}
+
+}  // namespace ldp::dns

@@ -1,0 +1,141 @@
+// Typed RDATA payloads. Each supported RR type gets a concrete struct with
+// wire and presentation (zone-file) codecs; everything else round-trips as
+// opaque bytes (RFC 3597 \# form), so no trace data is ever dropped.
+//
+// Compression note (RFC 3597 §4): names inside RDATA of the original RFC
+// 1035 types (NS, CNAME, PTR, MX, SOA) may be compressed on output and must
+// be decompressed on input; names in newer types (SRV, RRSIG, NSEC) must not
+// be compressed on output but are still decompressed defensively on input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "dns/types.hpp"
+#include "util/ip.hpp"
+
+namespace ldp::dns {
+
+class NameCompressor;  // defined in dns/wire.hpp
+
+struct AData {
+  Ip4 addr;
+};
+struct AaaaData {
+  Ip6 addr;
+};
+/// NS, CNAME, PTR: a single domain name.
+struct NameData {
+  Name name;
+};
+struct SoaData {
+  Name mname;    ///< primary nameserver
+  Name rname;    ///< responsible mailbox
+  uint32_t serial = 0;
+  uint32_t refresh = 0;
+  uint32_t retry = 0;
+  uint32_t expire = 0;
+  uint32_t minimum = 0;  ///< negative-caching TTL (RFC 2308)
+};
+struct MxData {
+  uint16_t preference = 0;
+  Name exchange;
+};
+struct TxtData {
+  std::vector<std::string> strings;  ///< each ≤255 octets on the wire
+};
+struct SrvData {
+  uint16_t priority = 0;
+  uint16_t weight = 0;
+  uint16_t port = 0;
+  Name target;
+};
+struct DsData {
+  uint16_t key_tag = 0;
+  uint8_t algorithm = 0;
+  uint8_t digest_type = 0;
+  std::vector<uint8_t> digest;
+};
+struct DnskeyData {
+  uint16_t flags = 0;      ///< 256 = ZSK, 257 = KSK
+  uint8_t protocol = 3;
+  uint8_t algorithm = 0;
+  std::vector<uint8_t> public_key;
+};
+struct RrsigData {
+  RRType type_covered = RRType::A;
+  uint8_t algorithm = 0;
+  uint8_t labels = 0;
+  uint32_t original_ttl = 0;
+  uint32_t expiration = 0;
+  uint32_t inception = 0;
+  uint16_t key_tag = 0;
+  Name signer;
+  std::vector<uint8_t> signature;
+};
+struct NsecData {
+  Name next;
+  std::vector<RRType> types;
+};
+struct NaptrData {
+  uint16_t order = 0;
+  uint16_t preference = 0;
+  std::string flags;
+  std::string services;
+  std::string regexp;
+  Name replacement;
+};
+struct CaaData {
+  uint8_t flags = 0;
+  std::string tag;
+  std::string value;
+};
+/// Fallback for types without a dedicated codec.
+struct OpaqueData {
+  std::vector<uint8_t> bytes;
+};
+
+/// RDATA value. The active alternative is determined by the owning record's
+/// RRType (NameData serves NS, CNAME and PTR).
+class Rdata {
+ public:
+  using Value = std::variant<AData, AaaaData, NameData, SoaData, MxData, TxtData,
+                             SrvData, DsData, DnskeyData, RrsigData, NsecData,
+                             NaptrData, CaaData, OpaqueData>;
+
+  Rdata() : value_(OpaqueData{}) {}
+  Rdata(Value v) : value_(std::move(v)) {}
+
+  const Value& value() const { return value_; }
+  Value& value() { return value_; }
+
+  template <typename T>
+  const T* get_if() const {
+    return std::get_if<T>(&value_);
+  }
+
+  /// Decode `rdlength` bytes at the reader cursor as RDATA of `type`.
+  /// The reader must span the whole message so compression pointers resolve.
+  static Result<Rdata> from_wire(RRType type, ByteReader& rd, size_t rdlength);
+
+  /// Encode, compressing RDATA names where RFC 3597 allows. Writes the
+  /// 2-byte RDLENGTH followed by the payload.
+  void to_wire(RRType type, ByteWriter& w, NameCompressor* compressor) const;
+
+  /// Presentation format (the RHS of a zone-file line).
+  std::string to_string(RRType type) const;
+
+  /// Parse presentation-format tokens for `type`. Unknown types accept the
+  /// RFC 3597 generic form: `\# <len> <hex>`.
+  static Result<Rdata> parse(RRType type, const std::vector<std::string_view>& tokens);
+
+  bool operator==(const Rdata& o) const;
+
+ private:
+  Value value_;
+};
+
+}  // namespace ldp::dns

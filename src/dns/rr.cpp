@@ -1,0 +1,33 @@
+#include "dns/rr.hpp"
+
+#include <algorithm>
+
+namespace ldp::dns {
+
+std::string ResourceRecord::to_string() const {
+  return name.to_string() + " " + std::to_string(ttl) + " " +
+         rrclass_to_string(rrclass) + " " + rrtype_to_string(type) + " " +
+         rdata.to_string(type);
+}
+
+std::vector<ResourceRecord> RRset::to_records() const {
+  std::vector<ResourceRecord> out;
+  out.reserve(rdatas.size());
+  for (const auto& rd : rdatas) {
+    out.push_back(ResourceRecord{name, type, rrclass, ttl, rd});
+  }
+  return out;
+}
+
+void RRset::add(const ResourceRecord& rr) {
+  if (rdatas.empty()) {
+    ttl = rr.ttl;
+  } else {
+    ttl = std::min(ttl, rr.ttl);
+  }
+  if (std::find(rdatas.begin(), rdatas.end(), rr.rdata) == rdatas.end()) {
+    rdatas.push_back(rr.rdata);
+  }
+}
+
+}  // namespace ldp::dns

@@ -1,0 +1,49 @@
+// Resource records and RRsets. An RRset (same name/type/class) is the unit
+// of DNS data: zone lookups, cache entries and DNSSEC signatures all operate
+// on RRsets rather than individual records.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/rdata.hpp"
+
+namespace ldp::dns {
+
+struct ResourceRecord {
+  Name name;
+  RRType type = RRType::A;
+  RRClass rrclass = RRClass::IN;
+  uint32_t ttl = 0;
+  Rdata rdata;
+
+  /// One zone-file line: "name ttl class type rdata".
+  std::string to_string() const;
+
+  bool operator==(const ResourceRecord& o) const {
+    return name == o.name && type == o.type && rrclass == o.rrclass && ttl == o.ttl &&
+           rdata == o.rdata;
+  }
+};
+
+/// All records sharing (name, type, class). TTL is uniform per RFC 2181 §5.2
+/// (the minimum is used if input disagrees).
+struct RRset {
+  Name name;
+  RRType type = RRType::A;
+  RRClass rrclass = RRClass::IN;
+  uint32_t ttl = 0;
+  std::vector<Rdata> rdatas;
+
+  bool empty() const { return rdatas.empty(); }
+  size_t size() const { return rdatas.size(); }
+
+  /// Expand back to individual records (message sections carry RRs).
+  std::vector<ResourceRecord> to_records() const;
+
+  /// Add one record's data; lowers ttl if the new record's is smaller.
+  /// Duplicate rdata is ignored (DNS forbids duplicate records in an RRset).
+  void add(const ResourceRecord& rr);
+};
+
+}  // namespace ldp::dns

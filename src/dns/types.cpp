@@ -1,0 +1,83 @@
+#include "dns/types.hpp"
+
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace ldp::dns {
+
+namespace {
+constexpr std::pair<RRType, const char*> kTypeNames[] = {
+    {RRType::A, "A"},         {RRType::NS, "NS"},       {RRType::CNAME, "CNAME"},
+    {RRType::SOA, "SOA"},     {RRType::PTR, "PTR"},     {RRType::MX, "MX"},
+    {RRType::TXT, "TXT"},     {RRType::AAAA, "AAAA"},   {RRType::SRV, "SRV"},
+    {RRType::NAPTR, "NAPTR"}, {RRType::DS, "DS"},       {RRType::RRSIG, "RRSIG"},
+    {RRType::NSEC, "NSEC"},   {RRType::DNSKEY, "DNSKEY"}, {RRType::NSEC3, "NSEC3"},
+    {RRType::OPT, "OPT"},     {RRType::CAA, "CAA"},     {RRType::ANY, "ANY"},
+};
+}  // namespace
+
+std::string rrtype_to_string(RRType t) {
+  for (auto [type, name] : kTypeNames)
+    if (type == t) return name;
+  return "TYPE" + std::to_string(static_cast<uint16_t>(t));
+}
+
+Result<RRType> rrtype_from_string(std::string_view s) {
+  for (auto [type, name] : kTypeNames)
+    if (iequals(s, name)) return type;
+  if (s.size() > 4 && iequals(s.substr(0, 4), "TYPE")) {
+    uint64_t v = LDP_TRY(parse_u64(s.substr(4)));
+    if (v > 0xffff) return Err("TYPE value out of range: " + std::string(s));
+    return static_cast<RRType>(v);
+  }
+  return Err("unknown RR type: " + std::string(s));
+}
+
+std::string rrclass_to_string(RRClass c) {
+  switch (c) {
+    case RRClass::IN: return "IN";
+    case RRClass::CH: return "CH";
+    case RRClass::HS: return "HS";
+    case RRClass::ANY: return "ANY";
+  }
+  return "CLASS" + std::to_string(static_cast<uint16_t>(c));
+}
+
+Result<RRClass> rrclass_from_string(std::string_view s) {
+  if (iequals(s, "IN")) return RRClass::IN;
+  if (iequals(s, "CH")) return RRClass::CH;
+  if (iequals(s, "HS")) return RRClass::HS;
+  if (iequals(s, "ANY")) return RRClass::ANY;
+  if (s.size() > 5 && iequals(s.substr(0, 5), "CLASS")) {
+    uint64_t v = LDP_TRY(parse_u64(s.substr(5)));
+    if (v > 0xffff) return Err("CLASS value out of range: " + std::string(s));
+    return static_cast<RRClass>(v);
+  }
+  return Err("unknown RR class: " + std::string(s));
+}
+
+std::string rcode_to_string(Rcode r) {
+  switch (r) {
+    case Rcode::NoError: return "NOERROR";
+    case Rcode::FormErr: return "FORMERR";
+    case Rcode::ServFail: return "SERVFAIL";
+    case Rcode::NXDomain: return "NXDOMAIN";
+    case Rcode::NotImp: return "NOTIMP";
+    case Rcode::Refused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<uint8_t>(r));
+}
+
+std::string opcode_to_string(Opcode o) {
+  switch (o) {
+    case Opcode::Query: return "QUERY";
+    case Opcode::IQuery: return "IQUERY";
+    case Opcode::Status: return "STATUS";
+    case Opcode::Notify: return "NOTIFY";
+    case Opcode::Update: return "UPDATE";
+  }
+  return "OPCODE" + std::to_string(static_cast<uint8_t>(o));
+}
+
+}  // namespace ldp::dns

@@ -1,0 +1,70 @@
+// DNS enumerations (RFC 1035 and successors) with text conversions used by
+// the zone-file parser and the plain-text trace format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace ldp::dns {
+
+/// Resource record types. Values are the IANA-assigned wire values.
+enum class RRType : uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  TXT = 16,
+  AAAA = 28,
+  SRV = 33,
+  NAPTR = 35,
+  DS = 43,
+  RRSIG = 46,
+  NSEC = 47,
+  DNSKEY = 48,
+  NSEC3 = 50,
+  OPT = 41,
+  CAA = 257,
+  ANY = 255,
+};
+
+enum class RRClass : uint16_t {
+  IN = 1,
+  CH = 3,
+  HS = 4,
+  ANY = 255,
+};
+
+enum class Opcode : uint8_t {
+  Query = 0,
+  IQuery = 1,
+  Status = 2,
+  Notify = 4,
+  Update = 5,
+};
+
+enum class Rcode : uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NXDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+};
+
+/// Mnemonic ("A", "AAAA", ...) or "TYPE<n>" for unknown values (RFC 3597).
+std::string rrtype_to_string(RRType t);
+/// Accepts both mnemonics and RFC 3597 "TYPE<n>" forms.
+Result<RRType> rrtype_from_string(std::string_view s);
+
+std::string rrclass_to_string(RRClass c);
+Result<RRClass> rrclass_from_string(std::string_view s);
+
+std::string rcode_to_string(Rcode r);
+std::string opcode_to_string(Opcode o);
+
+}  // namespace ldp::dns

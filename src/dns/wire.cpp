@@ -1,0 +1,53 @@
+#include "dns/wire.hpp"
+
+namespace ldp::dns {
+
+void NameCompressor::write_name(ByteWriter& w, const Name& name, bool compress) {
+  // Work out, for each suffix of `name` (longest first is suffix 0 = whole
+  // name), whether we already wrote it.
+  size_t n = name.label_count();
+
+  size_t match_at = n;  // index of first label of the matched suffix; n = none
+  uint16_t match_offset = 0;
+  if (compress) {
+    // Try whole name, then progressively shorter suffixes. Suffix starting
+    // at label i is name.label(i..n-1).
+    for (size_t i = 0; i < n; ++i) {
+      std::string key;
+      for (size_t j = i; j < n; ++j) {
+        key.append(name.label(j));
+        key.push_back('.');
+      }
+      auto it = suffix_offsets_.find(key);
+      if (it != suffix_offsets_.end()) {
+        match_at = i;
+        match_offset = it->second;
+        break;
+      }
+    }
+  }
+
+  // Emit labels before the match, registering each new suffix position.
+  for (size_t i = 0; i < match_at; ++i) {
+    size_t pos = w.size();
+    if (pos < 0x4000) {
+      std::string key;
+      for (size_t j = i; j < n; ++j) {
+        key.append(name.label(j));
+        key.push_back('.');
+      }
+      suffix_offsets_.emplace(std::move(key), static_cast<uint16_t>(pos));
+    }
+    auto l = name.label(i);
+    w.u8(static_cast<uint8_t>(l.size()));
+    w.bytes(l);
+  }
+
+  if (match_at < n) {
+    w.u16(static_cast<uint16_t>(0xc000 | match_offset));
+  } else {
+    w.u8(0);  // root
+  }
+}
+
+}  // namespace ldp::dns

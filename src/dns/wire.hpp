@@ -1,0 +1,30 @@
+// Name compression for message encoding (RFC 1035 §4.1.4). One compressor
+// instance lives for the duration of a single message encode; it remembers
+// where each name suffix was written and emits 2-byte pointers to the
+// longest previously-written suffix.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "dns/name.hpp"
+
+namespace ldp::dns {
+
+class NameCompressor {
+ public:
+  /// Write `name` at the current writer position. When `compress` is true,
+  /// the longest known suffix is replaced with a pointer; either way every
+  /// newly written suffix with offset < 0x4000 is remembered for later
+  /// names (including names written uncompressed, which still serve as
+  /// pointer targets).
+  void write_name(ByteWriter& w, const Name& name, bool compress);
+
+ private:
+  // Key: the lowercase presentation of a suffix ("example.com."). Values
+  // are message offsets. Presentation strings are unambiguous because
+  // Name::to_string escapes '.' inside labels.
+  std::unordered_map<std::string, uint16_t> suffix_offsets_;
+};
+
+}  // namespace ldp::dns

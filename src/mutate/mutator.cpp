@@ -1,0 +1,137 @@
+#include "mutate/mutator.hpp"
+
+namespace ldp::mutate {
+
+using dns::Message;
+
+MutatorPipeline& MutatorPipeline::force_transport(Transport t) {
+  edit_record([t](TraceRecord& rec) { rec.transport = t; });
+  return *this;
+}
+
+MutatorPipeline& MutatorPipeline::enable_dnssec(uint16_t udp_payload_size) {
+  edit_message([udp_payload_size](Message& msg) {
+    if (!msg.edns.has_value()) {
+      dns::Edns e;
+      e.udp_payload_size = udp_payload_size;
+      msg.edns = e;
+    }
+    msg.edns->dnssec_ok = true;
+  });
+  return *this;
+}
+
+MutatorPipeline& MutatorPipeline::strip_edns() {
+  edit_message([](Message& msg) { msg.edns.reset(); });
+  return *this;
+}
+
+MutatorPipeline& MutatorPipeline::prefix_qnames(const std::string& label) {
+  edit_message([label](Message& msg) {
+    for (auto& q : msg.questions) {
+      auto prefixed = q.qname.with_prefix_label(label);
+      if (prefixed.ok()) q.qname = std::move(*prefixed);
+      // A name already at the 255-octet limit keeps its original qname;
+      // dropping the query would distort replay timing.
+    }
+  });
+  return *this;
+}
+
+MutatorPipeline& MutatorPipeline::set_recursion_desired(bool rd) {
+  edit_message([rd](Message& msg) { msg.header.rd = rd; });
+  return *this;
+}
+
+MutatorPipeline& MutatorPipeline::force_qtype(dns::RRType qtype) {
+  edit_message([qtype](Message& msg) {
+    for (auto& q : msg.questions) q.qtype = qtype;
+  });
+  return *this;
+}
+
+MutatorPipeline& MutatorPipeline::scale_time(double factor) {
+  time_scale_ = factor;
+  return *this;
+}
+
+MutatorPipeline& MutatorPipeline::rebase_time(TimeNs new_start) {
+  rebase_ = new_start;
+  return *this;
+}
+
+MutatorPipeline& MutatorPipeline::filter(Predicate pred) {
+  steps_.emplace_back(std::in_place_index<2>, std::move(pred));
+  needs_message_ = true;
+  return *this;
+}
+
+MutatorPipeline& MutatorPipeline::edit_message(MessageEdit edit) {
+  steps_.emplace_back(std::in_place_index<0>, std::move(edit));
+  needs_message_ = true;
+  return *this;
+}
+
+MutatorPipeline& MutatorPipeline::edit_record(RecordEdit edit) {
+  steps_.emplace_back(std::in_place_index<1>, std::move(edit));
+  return *this;
+}
+
+Result<Verdict> MutatorPipeline::apply(TraceRecord& rec) const {
+  if (!time_origin_.has_value()) time_origin_ = rec.timestamp;
+
+  // Decode once if any step needs the message.
+  std::optional<Message> msg;
+  if (needs_message_) {
+    auto decoded = rec.message();
+    if (!decoded.ok()) return Err("undecodable payload: " + decoded.error().message);
+    msg = std::move(*decoded);
+  }
+
+  bool message_dirty = false;
+  for (const auto& step : steps_) {
+    if (const auto* edit = std::get_if<0>(&step)) {
+      (*edit)(*msg);
+      message_dirty = true;
+    } else if (const auto* record_edit = std::get_if<1>(&step)) {
+      (*record_edit)(rec);
+    } else {
+      const auto& pred = std::get<2>(step);
+      if (!pred(rec, *msg)) return Verdict::Drop;
+    }
+  }
+  if (message_dirty) {
+    rec.dns_payload = msg->to_wire();
+    rec.direction =
+        msg->header.qr ? trace::Direction::Response : trace::Direction::Query;
+  }
+
+  if (time_scale_ != 1.0) {
+    rec.timestamp = *time_origin_ +
+                    static_cast<TimeNs>(static_cast<double>(rec.timestamp - *time_origin_) *
+                                        time_scale_);
+  }
+  if (rebase_.has_value()) {
+    rec.timestamp = *rebase_ + (rec.timestamp - *time_origin_);
+  }
+  return Verdict::Keep;
+}
+
+std::vector<TraceRecord> MutatorPipeline::apply_all(std::vector<TraceRecord> records,
+                                                    size_t* malformed) const {
+  std::vector<TraceRecord> out;
+  out.reserve(records.size());
+  size_t bad = 0;
+  for (auto& rec : records) {
+    auto verdict = apply(rec);
+    if (!verdict.ok()) {
+      ++bad;
+      continue;
+    }
+    if (*verdict == Verdict::Keep) out.push_back(std::move(rec));
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return out;
+}
+
+}  // namespace ldp::mutate

@@ -1,0 +1,99 @@
+// Query mutator (§2.5): programmable edits over trace records that turn one
+// captured trace into a what-if workload. The paper's experiments are
+// expressed in exactly these operations: "all queries over TCP/TLS" (§5.2)
+// is force_transport; "all queries with DO bit" (§5.1) is enable_dnssec;
+// the validation's unique-name matching (§4.2) is prefix_qnames.
+//
+// A pipeline is a list of steps applied in order to each record. Steps that
+// edit DNS fields decode the payload once, apply every message-level edit,
+// and re-encode once, so stacking edits stays cheap enough for live
+// mutation at replay time.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace ldp::mutate {
+
+using trace::TraceRecord;
+
+/// Outcome of applying a pipeline to one record.
+enum class Verdict : uint8_t { Keep, Drop };
+
+class MutatorPipeline {
+ public:
+  using MessageEdit = std::function<void(dns::Message&)>;
+  using RecordEdit = std::function<void(TraceRecord&)>;
+  using Predicate = std::function<bool(const TraceRecord&, const dns::Message&)>;
+
+  // --- what-if building blocks -------------------------------------------
+
+  /// Replay every query over the given transport (§5.2 all-TCP / all-TLS).
+  MutatorPipeline& force_transport(Transport t);
+
+  /// Set the EDNS DO bit (adding an OPT record if absent) on every query —
+  /// the §5.1 "all queries with DNSSEC" scenario.
+  MutatorPipeline& enable_dnssec(uint16_t udp_payload_size = 4096);
+
+  /// Remove EDNS entirely (the inverse what-if).
+  MutatorPipeline& strip_edns();
+
+  /// Prepend a label to every qname; the validation methodology uses a
+  /// unique prefix to match replayed queries with originals (§4.2).
+  MutatorPipeline& prefix_qnames(const std::string& label);
+
+  /// Set or clear the RD bit.
+  MutatorPipeline& set_recursion_desired(bool rd);
+
+  /// Rewrite every query to one fixed qtype.
+  MutatorPipeline& force_qtype(dns::RRType qtype);
+
+  /// Multiply all timestamps (relative to the first record seen) by
+  /// `factor`: 0.5 doubles the query rate, 2.0 halves it.
+  MutatorPipeline& scale_time(double factor);
+
+  /// Shift the whole trace so it starts at `new_start`.
+  MutatorPipeline& rebase_time(TimeNs new_start);
+
+  /// Keep only records matching the predicate.
+  MutatorPipeline& filter(Predicate pred);
+
+  /// Arbitrary message-level edit (escape hatch for custom experiments).
+  MutatorPipeline& edit_message(MessageEdit edit);
+
+  /// Arbitrary record-level edit.
+  MutatorPipeline& edit_record(RecordEdit edit);
+
+  // --- application --------------------------------------------------------
+
+  /// Apply to one record in place. Returns Drop if a filter rejected it,
+  /// or an error if the payload needed decoding but was malformed.
+  Result<Verdict> apply(TraceRecord& rec) const;
+
+  /// Apply to a whole trace; dropped and malformed records are removed
+  /// (malformed count is reported via `malformed` if non-null).
+  std::vector<TraceRecord> apply_all(std::vector<TraceRecord> records,
+                                     size_t* malformed = nullptr) const;
+
+  size_t step_count() const {
+    return steps_.size() + (time_scale_ != 1.0 ? 1 : 0) +
+           (rebase_.has_value() ? 1 : 0);
+  }
+
+ private:
+  // Steps run in insertion order (a filter placed after an edit sees the
+  // edited message). Time scaling/rebasing applies last, once per record.
+  using Step = std::variant<MessageEdit, RecordEdit, Predicate>;
+  std::vector<Step> steps_;
+  bool needs_message_ = false;
+  double time_scale_ = 1.0;
+  std::optional<TimeNs> rebase_;
+  // Time origin is latched from the first record so scaling is stable for
+  // streamed application.
+  mutable std::optional<TimeNs> time_origin_;
+};
+
+}  // namespace ldp::mutate

@@ -1,0 +1,190 @@
+#include "net/socket.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ldp::net {
+
+namespace {
+
+Result<Fd> make_socket(int type) {
+  int fd = ::socket(AF_INET, type | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Err(std::string("socket: ") + std::strerror(errno));
+  return Fd(fd);
+}
+
+sockaddr_in to_sockaddr(const Endpoint& ep) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(ep.port);
+  sa.sin_addr.s_addr = htonl(ep.addr.is_v4() ? ep.addr.v4().value() : 0);
+  return sa;
+}
+
+Endpoint from_sockaddr(const sockaddr_in& sa) {
+  return Endpoint{IpAddr{Ip4{ntohl(sa.sin_addr.s_addr)}}, ntohs(sa.sin_port)};
+}
+
+Result<Endpoint> local_of(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0)
+    return Err(std::string("getsockname: ") + std::strerror(errno));
+  return from_sockaddr(sa);
+}
+
+}  // namespace
+
+SockAddr SockAddr::from_endpoint(const Endpoint& ep) {
+  return SockAddr{ep.addr.is_v4() ? ep.addr.v4().value() : 0, ep.port};
+}
+
+Endpoint SockAddr::to_endpoint() const {
+  return Endpoint{IpAddr{Ip4{addr_host_order}}, port};
+}
+
+Result<UdpSocket> UdpSocket::bind(const Endpoint& local) {
+  Fd fd = LDP_TRY(make_socket(SOCK_DGRAM));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa = to_sockaddr(local);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
+    return Err(std::string("bind: ") + std::strerror(errno));
+  return UdpSocket(std::move(fd));
+}
+
+Result<UdpSocket> UdpSocket::create() {
+  Fd fd = LDP_TRY(make_socket(SOCK_DGRAM));
+  return UdpSocket(std::move(fd));
+}
+
+Result<Endpoint> UdpSocket::local_endpoint() const { return local_of(fd_.get()); }
+
+Result<bool> UdpSocket::send_to(const Endpoint& dst, std::span<const uint8_t> payload) {
+  sockaddr_in sa = to_sockaddr(dst);
+  ssize_t n = ::sendto(fd_.get(), payload.data(), payload.size(), 0,
+                       reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) return false;
+    return Err(std::string("sendto: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+Result<std::optional<UdpSocket::Datagram>> UdpSocket::recv() {
+  uint8_t buf[65536];
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  ssize_t n = ::recvfrom(fd_.get(), buf, sizeof(buf), 0,
+                         reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::optional<Datagram>{};
+    return Err(std::string("recvfrom: ") + std::strerror(errno));
+  }
+  Datagram dg;
+  dg.from = from_sockaddr(sa);
+  dg.payload.assign(buf, buf + n);
+  return std::optional<Datagram>{std::move(dg)};
+}
+
+Result<TcpStream> TcpStream::connect(const Endpoint& remote) {
+  Fd fd = LDP_TRY(make_socket(SOCK_STREAM));
+  sockaddr_in sa = to_sockaddr(remote);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 &&
+      errno != EINPROGRESS)
+    return Err(std::string("connect: ") + std::strerror(errno));
+  return TcpStream(std::move(fd), remote);
+}
+
+TcpStream TcpStream::from_accepted(Fd fd, Endpoint peer) {
+  return TcpStream(std::move(fd), peer);
+}
+
+Result<size_t> TcpStream::send_message(std::span<const uint8_t> dns_payload) {
+  out_.push_back(static_cast<uint8_t>(dns_payload.size() >> 8));
+  out_.push_back(static_cast<uint8_t>(dns_payload.size()));
+  out_.insert(out_.end(), dns_payload.begin(), dns_payload.end());
+  return flush();
+}
+
+Result<size_t> TcpStream::flush() {
+  while (!out_.empty()) {
+    ssize_t n = ::send(fd_.get(), out_.data(), out_.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return out_.size();
+      return Err(std::string("send: ") + std::strerror(errno));
+    }
+    out_.erase(out_.begin(), out_.begin() + n);
+  }
+  return size_t{0};
+}
+
+Result<std::vector<std::vector<uint8_t>>> TcpStream::read_messages(bool& closed) {
+  closed = false;
+  std::vector<std::vector<uint8_t>> messages;
+  uint8_t buf[65536];
+  while (true) {
+    ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return Err(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      closed = true;
+      break;
+    }
+    in_.insert(in_.end(), buf, buf + n);
+  }
+  // Extract complete frames.
+  size_t pos = 0;
+  while (in_.size() - pos >= 2) {
+    size_t frame = static_cast<size_t>(in_[pos]) << 8 | in_[pos + 1];
+    if (in_.size() - pos - 2 < frame) break;
+    messages.emplace_back(in_.begin() + static_cast<long>(pos + 2),
+                          in_.begin() + static_cast<long>(pos + 2 + frame));
+    pos += 2 + frame;
+  }
+  in_.erase(in_.begin(), in_.begin() + static_cast<long>(pos));
+  return messages;
+}
+
+Result<void> TcpStream::set_nodelay(bool on) {
+  int v = on ? 1 : 0;
+  if (::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) != 0)
+    return Err(std::string("TCP_NODELAY: ") + std::strerror(errno));
+  return Ok();
+}
+
+Result<TcpListener> TcpListener::listen(const Endpoint& local, int backlog) {
+  Fd fd = LDP_TRY(make_socket(SOCK_STREAM));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa = to_sockaddr(local);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
+    return Err(std::string("bind: ") + std::strerror(errno));
+  if (::listen(fd.get(), backlog) != 0)
+    return Err(std::string("listen: ") + std::strerror(errno));
+  return TcpListener(std::move(fd));
+}
+
+Result<Endpoint> TcpListener::local_endpoint() const { return local_of(fd_.get()); }
+
+Result<std::optional<TcpStream>> TcpListener::accept() {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  int fd = ::accept4(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &len,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::optional<TcpStream>{};
+    return Err(std::string("accept: ") + std::strerror(errno));
+  }
+  return std::optional<TcpStream>{TcpStream::from_accepted(Fd(fd), from_sockaddr(sa))};
+}
+
+}  // namespace ldp::net

@@ -1,0 +1,106 @@
+// Nonblocking socket wrappers: UDP datagram sockets and TCP streams with
+// DNS 2-byte length framing (RFC 1035 §4.2.2). TLS is emulated at this
+// layer as framed TCP with a configurable handshake delay — the replay
+// engine and server need TLS's connection *behaviour* (extra round trips,
+// session state), not actual cryptography (see DESIGN.md substitutions).
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "net/event_loop.hpp"
+#include "util/bytes.hpp"
+#include "util/ip.hpp"
+
+namespace ldp::net {
+
+/// Convert between our Endpoint and sockaddr storage (IPv4 only on the
+/// wire here; the testbed runs on loopback).
+struct SockAddr {
+  uint32_t addr_host_order = 0;
+  uint16_t port = 0;
+
+  static SockAddr from_endpoint(const Endpoint& ep);
+  Endpoint to_endpoint() const;
+};
+
+class UdpSocket {
+ public:
+  /// Bind to addr:port (port 0 picks an ephemeral port).
+  static Result<UdpSocket> bind(const Endpoint& local);
+  /// Unbound socket for client use (bound implicitly on first send).
+  static Result<UdpSocket> create();
+
+  int fd() const { return fd_.get(); }
+  Result<Endpoint> local_endpoint() const;
+
+  /// Nonblocking send; returns false if the kernel buffer is full (caller
+  /// retries on writable).
+  Result<bool> send_to(const Endpoint& dst, std::span<const uint8_t> payload);
+
+  struct Datagram {
+    Endpoint from;
+    std::vector<uint8_t> payload;
+  };
+  /// Nonblocking receive; nullopt when the socket would block.
+  Result<std::optional<Datagram>> recv();
+
+ private:
+  explicit UdpSocket(Fd fd) : fd_(std::move(fd)) {}
+  Fd fd_;
+};
+
+/// A connected TCP stream carrying length-framed DNS messages.
+class TcpStream {
+ public:
+  /// Begin a nonblocking connect; completion is signalled by writability.
+  static Result<TcpStream> connect(const Endpoint& remote);
+  /// Wrap an accepted fd.
+  static TcpStream from_accepted(Fd fd, Endpoint peer);
+
+  int fd() const { return fd_.get(); }
+  const Endpoint& peer() const { return peer_; }
+
+  /// Queue one DNS message (framing added) and try to flush. Returns the
+  /// number of bytes still pending after the flush attempt.
+  Result<size_t> send_message(std::span<const uint8_t> dns_payload);
+
+  /// Flush pending output; returns bytes still pending. Call on writable.
+  Result<size_t> flush();
+
+  /// Pull bytes from the socket into the reassembly buffer and extract any
+  /// complete DNS messages. Returns messages; sets `closed` when the peer
+  /// shut down. Call on readable.
+  Result<std::vector<std::vector<uint8_t>>> read_messages(bool& closed);
+
+  size_t pending_bytes() const { return out_.size(); }
+  /// Estimated user-space buffer footprint (memory-model input).
+  size_t buffer_footprint() const { return out_.size() + in_.size(); }
+
+  /// Disable Nagle (§5.2.1 optimizes the client this way).
+  Result<void> set_nodelay(bool on);
+
+ private:
+  TcpStream(Fd fd, Endpoint peer) : fd_(std::move(fd)), peer_(peer) {}
+  Fd fd_;
+  Endpoint peer_;
+  std::vector<uint8_t> out_;  // unsent bytes (already framed)
+  std::vector<uint8_t> in_;   // partial inbound frame(s)
+};
+
+class TcpListener {
+ public:
+  static Result<TcpListener> listen(const Endpoint& local, int backlog = 512);
+
+  int fd() const { return fd_.get(); }
+  Result<Endpoint> local_endpoint() const;
+
+  /// Accept one connection; nullopt when none is pending.
+  Result<std::optional<TcpStream>> accept();
+
+ private:
+  explicit TcpListener(Fd fd) : fd_(std::move(fd)) {}
+  Fd fd_;
+};
+
+}  // namespace ldp::net

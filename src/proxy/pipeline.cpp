@@ -1,0 +1,40 @@
+#include "proxy/pipeline.hpp"
+
+namespace ldp::proxy {
+
+ProxyPipeline::ProxyPipeline(ServerProxy proxy, SendFn send, size_t workers,
+                             size_t queue_capacity)
+    : proxy_(proxy), send_(std::move(send)), queue_(queue_capacity) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ProxyPipeline::~ProxyPipeline() { shutdown(); }
+
+void ProxyPipeline::submit(Datagram pkt) { queue_.push(std::move(pkt)); }
+
+void ProxyPipeline::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  queue_.close();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ProxyPipeline::worker_loop() {
+  while (true) {
+    auto pkt = queue_.pop();
+    if (!pkt.has_value()) return;  // closed and drained
+    if (proxy_.rewrite(*pkt)) {
+      forwarded_.fetch_add(1, std::memory_order_relaxed);
+      send_(std::move(*pkt));
+    } else {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace ldp::proxy

@@ -1,0 +1,55 @@
+// Threaded proxy pipeline (§3 "Server Proxy"): a single reader enqueues
+// captured packets; multiple worker threads pull from a thread-safe queue,
+// apply the proxy rewrite, and hand the packet to a send callback. This
+// mirrors the paper's TUN-reader + worker-pool structure.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "proxy/proxy.hpp"
+#include "util/queue.hpp"
+
+namespace ldp::proxy {
+
+using ldp::BoundedQueue;
+
+class ProxyPipeline {
+ public:
+  using SendFn = std::function<void(Datagram&&)>;
+
+  /// `send` is called from worker threads (must be thread-safe) with every
+  /// successfully rewritten packet; non-matching packets are dropped and
+  /// counted, exactly like packets the TUN routing never delivers.
+  ProxyPipeline(ServerProxy proxy, SendFn send, size_t workers = 2,
+                size_t queue_capacity = 1024);
+  ~ProxyPipeline();
+
+  ProxyPipeline(const ProxyPipeline&) = delete;
+  ProxyPipeline& operator=(const ProxyPipeline&) = delete;
+
+  /// Reader-side entry: blocks when workers are behind.
+  void submit(Datagram pkt);
+
+  /// Stop accepting, drain, join workers.
+  void shutdown();
+
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t forwarded() const { return forwarded_.load(std::memory_order_relaxed); }
+
+ private:
+  void worker_loop();
+
+  ServerProxy proxy_;
+  SendFn send_;
+  BoundedQueue<Datagram> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> forwarded_{0};
+  bool stopped_ = false;
+};
+
+}  // namespace ldp::proxy

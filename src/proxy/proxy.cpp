@@ -1,0 +1,61 @@
+#include "proxy/proxy.hpp"
+
+#include "trace/pcap.hpp"
+
+namespace ldp::proxy {
+
+bool ServerProxy::captures(const Datagram& pkt) const {
+  switch (role_) {
+    case Role::Recursive:
+      return pkt.dst.port == dns_port_;  // queries leaving the recursive
+    case Role::Authoritative:
+      return pkt.src.port == dns_port_;  // responses leaving the meta server
+  }
+  return false;
+}
+
+bool ServerProxy::rewrite(Datagram& pkt) const {
+  if (!captures(pkt)) return false;
+  // src address <- original dst address (ports untouched); dst <- peer.
+  pkt.src.addr = pkt.dst.addr;
+  pkt.dst.addr = peer_;
+  ++rewritten_;
+  return true;
+}
+
+Result<void> rewrite_raw_ipv4_udp(std::vector<uint8_t>& packet, Ip4 new_src,
+                                  Ip4 new_dst) {
+  if (packet.size() < 28) return Err("packet shorter than IPv4+UDP headers");
+  if ((packet[0] >> 4) != 4) return Err("not an IPv4 packet");
+  size_t ihl = static_cast<size_t>(packet[0] & 0xf) * 4;
+  if (ihl < 20 || packet.size() < ihl + 8) return Err("bad IPv4 header length");
+  if (packet[9] != 17) return Err("not a UDP packet");
+
+  auto put_u32 = [&packet](size_t off, uint32_t v) {
+    packet[off] = static_cast<uint8_t>(v >> 24);
+    packet[off + 1] = static_cast<uint8_t>(v >> 16);
+    packet[off + 2] = static_cast<uint8_t>(v >> 8);
+    packet[off + 3] = static_cast<uint8_t>(v);
+  };
+  put_u32(12, new_src.value());
+  put_u32(16, new_dst.value());
+
+  // Recompute the IPv4 header checksum.
+  packet[10] = packet[11] = 0;
+  uint16_t ip_sum =
+      trace::inet_checksum(std::span<const uint8_t>(packet.data(), ihl));
+  packet[10] = static_cast<uint8_t>(ip_sum >> 8);
+  packet[11] = static_cast<uint8_t>(ip_sum);
+
+  // Recompute the UDP checksum over the pseudo-header (addresses changed).
+  size_t udp_off = ihl;
+  size_t udp_len = packet.size() - udp_off;
+  packet[udp_off + 6] = packet[udp_off + 7] = 0;
+  uint16_t udp_sum = trace::udp4_checksum(
+      new_src, new_dst, std::span<const uint8_t>(packet.data() + udp_off, udp_len));
+  packet[udp_off + 6] = static_cast<uint8_t>(udp_sum >> 8);
+  packet[udp_off + 7] = static_cast<uint8_t>(udp_sum);
+  return Ok();
+}
+
+}  // namespace ldp::proxy

@@ -1,0 +1,75 @@
+// Server proxies (§2.4): the address-rewrite trick that lets one
+// meta-DNS-server impersonate every authoritative server in a trace.
+//
+// Both proxies apply the same algebra to the packets they capture:
+//     new src address = original destination address   (the "OQDA")
+//     new dst address = the server at the other end
+// so the meta server sees queries *from* the public address of the
+// nameserver being asked (its split-horizon zone selector), and the
+// recursive sees replies *from* that same public address (so its
+// query/reply matching succeeds) — neither server knows any rewriting
+// happened.
+//
+//   recursive proxy:   (Rec:ephem -> ns.pub:53)  =>  (ns.pub:ephem -> Meta:53)
+//   authoritative prx: (Meta:53 -> ns.pub:ephem) =>  (ns.pub:53 -> Rec:ephem)
+//
+// The paper implements this over TUN interfaces with iptables port-based
+// routing; here the same rewrite runs on an abstract Datagram (used by the
+// in-process hierarchy emulation) and on raw IPv4/UDP packet bytes with
+// checksum recomputation (what the TUN path would carry).
+#pragma once
+
+#include <vector>
+
+#include "util/ip.hpp"
+#include "util/transport.hpp"
+
+namespace ldp::proxy {
+
+/// An addressed DNS payload — the unit the proxies rewrite.
+struct Datagram {
+  Endpoint src;
+  Endpoint dst;
+  Transport transport = Transport::Udp;
+  std::vector<uint8_t> payload;
+};
+
+class ServerProxy {
+ public:
+  /// Recursive proxies sit next to the recursive server and capture queries
+  /// (dst port 53); authoritative proxies sit next to the meta server and
+  /// capture responses (src port 53) — the iptables mangle rules of §2.4.
+  enum class Role { Recursive, Authoritative };
+
+  /// `peer` is the server at the other end: the meta server's address for a
+  /// recursive proxy, the recursive server's address for an authoritative
+  /// proxy. `dns_port` is 53 unless an experiment moves it.
+  ServerProxy(Role role, IpAddr peer, uint16_t dns_port = 53)
+      : role_(role), peer_(peer), dns_port_(dns_port) {}
+
+  Role role() const { return role_; }
+
+  /// Would this proxy's capture rule pick up the packet?
+  bool captures(const Datagram& pkt) const;
+
+  /// Apply the rewrite in place. Returns false (packet untouched) if the
+  /// capture rule does not match — mirroring packets the TUN rules would
+  /// never deliver to the proxy.
+  bool rewrite(Datagram& pkt) const;
+
+  uint64_t rewritten() const { return rewritten_; }
+
+ private:
+  Role role_;
+  IpAddr peer_;
+  uint16_t dns_port_;
+  mutable uint64_t rewritten_ = 0;
+};
+
+/// Rewrite source/destination of a raw IPv4+UDP packet in place and fix the
+/// IPv4 header and UDP checksums — the byte-level operation the TUN-based
+/// proxy performs. Fails if the buffer is not a well-formed IPv4 UDP packet.
+Result<void> rewrite_raw_ipv4_udp(std::vector<uint8_t>& packet, Ip4 new_src,
+                                  Ip4 new_dst);
+
+}  // namespace ldp::proxy

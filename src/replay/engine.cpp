@@ -1,0 +1,436 @@
+#include "replay/engine.hpp"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace ldp::replay {
+
+using trace::TraceRecord;
+
+namespace {
+constexpr TimeNs kStartupLead = 100 * kMilli;  // let worker threads spin up
+}
+
+// ---------------------------------------------------------------------------
+// Querier: one thread, one event loop, sockets pinned per query source.
+// ---------------------------------------------------------------------------
+class QueryEngine::Querier {
+ public:
+  Querier(uint32_t id, const EngineConfig& config, const ReplayClock& clock)
+      : id_(id), config_(config), clock_(clock), queue_(config.queue_capacity) {
+    wake_fd_ = net::Fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~Querier() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Called from the distributor thread.
+  void submit(TraceRecord rec) {
+    queue_.push(std::move(rec));
+    wake();
+  }
+  void finish() {
+    queue_.close();
+    wake();
+  }
+
+  EngineReport take_report() {
+    if (thread_.joinable()) thread_.join();
+    return std::move(report_);
+  }
+
+ private:
+  struct TcpConn {
+    net::TcpStream stream;
+    bool connected = false;
+    TimeNs last_activity = 0;
+    std::vector<std::vector<uint8_t>> backlog;  // queued until connected
+    std::unordered_map<uint16_t, size_t> pending;  // dns id -> send index
+
+    explicit TcpConn(net::TcpStream s) : stream(std::move(s)) {}
+  };
+
+  void wake() {
+    uint64_t one = 1;
+    ssize_t r = ::write(wake_fd_.get(), &one, sizeof(one));
+    (void)r;
+  }
+
+  void run() {
+    auto add = loop_.add_fd(wake_fd_.get(), net::Interest{true, false},
+                            [this](bool, bool) { on_wake(); });
+    if (!add.ok()) return;
+    loop_.run();
+    finalize_report();
+  }
+
+  void on_wake() {
+    uint64_t buf;
+    while (::read(wake_fd_.get(), &buf, sizeof(buf)) > 0) {
+    }
+    // Drain the input queue without blocking: try_pop via size probe.
+    while (true) {
+      if (queue_.size() == 0) break;
+      auto rec = queue_.pop();
+      if (!rec.has_value()) break;
+      handle_record(std::move(*rec));
+    }
+    if (queue_.closed_and_empty()) {
+      input_done_ = true;
+      maybe_finish();
+    }
+  }
+
+  void handle_record(TraceRecord rec) {
+    if (config_.timed) {
+      TimeNs deadline = clock_.deadline_for(rec.timestamp);
+      if (deadline > mono_now_ns()) {
+        ++pending_timers_;
+        auto shared = std::make_shared<TraceRecord>(std::move(rec));
+        loop_.add_timer_at(deadline, [this, shared] {
+          --pending_timers_;
+          send_query(*shared);
+          maybe_finish();
+        });
+        return;
+      }
+    }
+    send_query(rec);  // behind schedule or fast mode: send immediately
+  }
+
+  void send_query(const TraceRecord& rec) {
+    size_t index = report_.sends.size();
+    SendRecord sr;
+    sr.trace_time = rec.timestamp;
+    sr.send_time = mono_now_ns();
+    sr.querier = id_;
+    report_.sends.push_back(sr);
+
+    uint16_t dns_id = rec.dns_payload.size() >= 2
+                          ? static_cast<uint16_t>(rec.dns_payload[0] << 8 |
+                                                  rec.dns_payload[1])
+                          : 0;
+
+    if (rec.transport == Transport::Udp) {
+      net::UdpSocket* sock = udp_socket_for(rec.src.addr);
+      if (sock == nullptr) {
+        ++report_.send_errors;
+        return;
+      }
+      auto sent = sock->send_to(config_.server, rec.dns_payload);
+      if (!sent.ok() || !*sent) {
+        ++report_.send_errors;
+        return;
+      }
+      udp_pending_[sock->fd()][dns_id] = index;
+    } else {
+      TcpConn* conn = tcp_conn_for(rec.src.addr);
+      if (conn == nullptr) {
+        ++report_.send_errors;
+        return;
+      }
+      conn->last_activity = mono_now_ns();
+      conn->pending[dns_id] = index;
+      if (!conn->connected) {
+        conn->backlog.push_back(rec.dns_payload);
+      } else {
+        auto sent = conn->stream.send_message(rec.dns_payload);
+        if (!sent.ok()) {
+          ++report_.send_errors;
+        } else if (*sent > 0) {
+          // Kernel buffer full: wait for writability to flush the rest.
+          (void)loop_.modify_fd(conn->stream.fd(), net::Interest{true, true});
+        }
+      }
+    }
+    ++report_.queries_sent;
+    last_send_ = mono_now_ns();
+  }
+
+  net::UdpSocket* udp_socket_for(const IpAddr& source) {
+    auto it = udp_sockets_.find(source);
+    if (it != udp_sockets_.end()) return it->second.get();
+    auto sock = net::UdpSocket::bind(Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, 0});
+    if (!sock.ok()) return nullptr;
+    auto owned = std::make_unique<net::UdpSocket>(std::move(*sock));
+    net::UdpSocket* raw = owned.get();
+    auto add = loop_.add_fd(raw->fd(), net::Interest{true, false},
+                            [this, raw](bool, bool) { on_udp_readable(raw); });
+    if (!add.ok()) return nullptr;
+    udp_sockets_.emplace(source, std::move(owned));
+    return raw;
+  }
+
+  TcpConn* tcp_conn_for(const IpAddr& source) {
+    auto it = tcp_conns_.find(source);
+    if (it != tcp_conns_.end()) return it->second.get();
+    auto stream = net::TcpStream::connect(config_.server);
+    if (!stream.ok()) return nullptr;
+    auto owned = std::make_unique<TcpConn>(std::move(*stream));
+    TcpConn* raw = owned.get();
+    (void)raw->stream.set_nodelay(true);  // §5.2.1 disables Nagle at clients
+    auto add = loop_.add_fd(raw->stream.fd(), net::Interest{true, true},
+                            [this, source, raw](bool readable, bool writable) {
+                              on_tcp_event(source, raw, readable, writable);
+                            });
+    if (!add.ok()) return nullptr;
+    ++report_.connections_opened;
+    tcp_conns_.emplace(source, std::move(owned));
+    if (sweep_timer_ == 0) arm_sweep();
+    return raw;
+  }
+
+  void on_udp_readable(net::UdpSocket* sock) {
+    while (true) {
+      auto dg = sock->recv();
+      if (!dg.ok() || !dg->has_value()) return;
+      match_response((**dg).payload, udp_pending_[sock->fd()]);
+    }
+  }
+
+  void on_tcp_event(const IpAddr& source, TcpConn* conn, bool readable,
+                    bool writable) {
+    if (writable && !conn->connected) {
+      conn->connected = true;
+      for (auto& msg : conn->backlog) {
+        auto sent = conn->stream.send_message(msg);
+        if (!sent.ok()) ++report_.send_errors;
+      }
+      conn->backlog.clear();
+      (void)loop_.modify_fd(conn->stream.fd(), net::Interest{true, false});
+    } else if (writable) {
+      auto pending = conn->stream.flush();
+      if (pending.ok() && *pending == 0)
+        (void)loop_.modify_fd(conn->stream.fd(), net::Interest{true, false});
+    }
+    if (readable) {
+      bool closed = false;
+      auto messages = conn->stream.read_messages(closed);
+      if (messages.ok()) {
+        for (const auto& msg : *messages) match_response(msg, conn->pending);
+      }
+      conn->last_activity = mono_now_ns();
+      if (closed || !messages.ok()) close_tcp(source);
+    }
+  }
+
+  void close_tcp(const IpAddr& source) {
+    auto it = tcp_conns_.find(source);
+    if (it == tcp_conns_.end()) return;
+    loop_.remove_fd(it->second->stream.fd());
+    tcp_conns_.erase(it);
+  }
+
+  void arm_sweep() {
+    sweep_timer_ = loop_.add_timer_after(kSecond, [this] {
+      TimeNs cutoff = mono_now_ns() - config_.tcp_idle_timeout;
+      for (auto it = tcp_conns_.begin(); it != tcp_conns_.end();) {
+        auto next = std::next(it);
+        if (it->second->last_activity < cutoff) close_tcp(it->first);
+        it = next;
+      }
+      sweep_timer_ = 0;
+      if (!tcp_conns_.empty()) arm_sweep();
+      maybe_finish();
+    });
+  }
+
+  void match_response(const std::vector<uint8_t>& payload,
+                      std::unordered_map<uint16_t, size_t>& pending) {
+    if (payload.size() < 2) return;
+    uint16_t id = static_cast<uint16_t>(payload[0] << 8 | payload[1]);
+    auto it = pending.find(id);
+    if (it == pending.end()) return;
+    SendRecord& sr = report_.sends[it->second];
+    if (sr.latency < 0) {
+      sr.latency = mono_now_ns() - sr.send_time;
+      ++report_.responses_received;
+    }
+    pending.erase(it);
+    maybe_finish();
+  }
+
+  void maybe_finish() {
+    if (!input_done_ || pending_timers_ > 0 || stopping_) return;
+    bool all_answered = report_.responses_received >= report_.queries_sent;
+    if (all_answered) {
+      stopping_ = true;
+      loop_.stop();
+      return;
+    }
+    if (drain_timer_ == 0) {
+      drain_timer_ = loop_.add_timer_after(config_.drain_grace, [this] {
+        stopping_ = true;
+        loop_.stop();
+      });
+    }
+  }
+
+  void finalize_report() {
+    for (const auto& sr : report_.sends) {
+      report_.replay_end = std::max(report_.replay_end, sr.send_time);
+    }
+  }
+
+  uint32_t id_;
+  const EngineConfig& config_;
+  const ReplayClock& clock_;
+  BoundedQueue<TraceRecord> queue_;
+  net::Fd wake_fd_;
+  net::EventLoop loop_;
+  std::thread thread_;
+
+  std::unordered_map<IpAddr, std::unique_ptr<net::UdpSocket>, IpAddrHash> udp_sockets_;
+  std::unordered_map<int, std::unordered_map<uint16_t, size_t>> udp_pending_;
+  std::unordered_map<IpAddr, std::unique_ptr<TcpConn>, IpAddrHash> tcp_conns_;
+
+  EngineReport report_;
+  size_t pending_timers_ = 0;
+  bool input_done_ = false;
+  bool stopping_ = false;
+  net::EventLoop::TimerId drain_timer_ = 0;
+  net::EventLoop::TimerId sweep_timer_ = 0;
+  TimeNs last_send_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Distributor: fans records out to its queriers, same-source sticky.
+// ---------------------------------------------------------------------------
+class QueryEngine::Distributor {
+ public:
+  Distributor(uint32_t first_querier_id, size_t querier_count,
+              const EngineConfig& config, const ReplayClock& clock)
+      : queue_(config.queue_capacity) {
+    for (size_t i = 0; i < querier_count; ++i) {
+      queriers_.push_back(std::make_unique<Querier>(
+          first_querier_id + static_cast<uint32_t>(i), config, clock));
+    }
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~Distributor() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void submit(TraceRecord rec) { queue_.push(std::move(rec)); }
+  void finish() { queue_.close(); }
+
+  std::vector<EngineReport> collect() {
+    if (thread_.joinable()) thread_.join();
+    std::vector<EngineReport> reports;
+    for (auto& q : queriers_) reports.push_back(q->take_report());
+    return reports;
+  }
+
+ private:
+  void run() {
+    while (true) {
+      auto rec = queue_.pop();
+      if (!rec.has_value()) break;
+      // Sticky assignment: the same original source always reaches the same
+      // querier, so that querier's per-source socket emulates the source.
+      auto it = source_to_querier_.find(rec->src.addr);
+      size_t idx;
+      if (it != source_to_querier_.end()) {
+        idx = it->second;
+      } else {
+        idx = next_++ % queriers_.size();
+        source_to_querier_.emplace(rec->src.addr, idx);
+      }
+      queriers_[idx]->submit(std::move(*rec));
+    }
+    for (auto& q : queriers_) q->finish();
+  }
+
+  BoundedQueue<TraceRecord> queue_;
+  std::vector<std::unique_ptr<Querier>> queriers_;
+  std::unordered_map<IpAddr, size_t, IpAddrHash> source_to_querier_;
+  size_t next_ = 0;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// QueryEngine: the controller (Reader + Postman).
+// ---------------------------------------------------------------------------
+QueryEngine::QueryEngine(EngineConfig config) : config_(config) {}
+QueryEngine::~QueryEngine() = default;
+
+Result<EngineReport> QueryEngine::replay(const std::vector<TraceRecord>& trace,
+                                         const ReplayClock* shared_clock) {
+  if (trace.empty()) return Err("empty trace");
+  if (config_.distributors == 0 || config_.queriers_per_distributor == 0)
+    return Err("need at least one distributor and querier");
+  if (shared_clock != nullptr && !shared_clock->started())
+    return Err("shared clock not started");
+
+  // Time synchronization broadcast (§2.6): latch t̄₁ from the first query
+  // and t₁ slightly in the future so worker startup cost doesn't make the
+  // first queries late. A shared clock (multi-controller replay) overrides.
+  ReplayClock own_clock;
+  own_clock.start(trace.front().timestamp, mono_now_ns() + kStartupLead);
+  const ReplayClock& clock = shared_clock != nullptr ? *shared_clock : own_clock;
+
+  std::vector<std::unique_ptr<Distributor>> distributors;
+  for (size_t i = 0; i < config_.distributors; ++i) {
+    distributors.push_back(std::make_unique<Distributor>(
+        static_cast<uint32_t>(i * config_.queriers_per_distributor),
+        config_.queriers_per_distributor, config_, clock));
+  }
+
+  // The Postman: dispatch records, same-source sticky across distributors,
+  // mutating live when configured.
+  uint64_t mutator_dropped = 0;
+  for (const auto& rec : trace) {
+    if (rec.direction != trace::Direction::Query) continue;
+    TraceRecord record = rec;
+    if (config_.live_mutator != nullptr) {
+      auto verdict = config_.live_mutator->apply(record);
+      if (!verdict.ok() || *verdict == mutate::Verdict::Drop) {
+        ++mutator_dropped;
+        continue;
+      }
+    }
+    auto it = source_to_distributor_.find(record.src.addr);
+    size_t idx;
+    if (it != source_to_distributor_.end()) {
+      idx = it->second;
+    } else {
+      idx = next_distributor_++ % distributors.size();
+      source_to_distributor_.emplace(record.src.addr, idx);
+    }
+    distributors[idx]->submit(std::move(record));
+  }
+  for (auto& d : distributors) d->finish();
+
+  EngineReport merged;
+  merged.mutator_dropped = mutator_dropped;
+  merged.replay_start = clock.real_origin();
+  for (auto& d : distributors) {
+    for (auto& rep : d->collect()) {
+      merged.queries_sent += rep.queries_sent;
+      merged.responses_received += rep.responses_received;
+      merged.send_errors += rep.send_errors;
+      merged.connections_opened += rep.connections_opened;
+      merged.replay_end = std::max(merged.replay_end, rep.replay_end);
+      // Fast mode sends before the startup-lead origin; lower the start to
+      // the first real send so duration/rate stay meaningful (timed sends
+      // are never earlier than the origin, so this is a no-op there).
+      for (const auto& sr : rep.sends)
+        merged.replay_start = std::min(merged.replay_start, sr.send_time);
+      merged.sends.insert(merged.sends.end(),
+                          std::make_move_iterator(rep.sends.begin()),
+                          std::make_move_iterator(rep.sends.end()));
+    }
+  }
+  source_to_distributor_.clear();
+  next_distributor_ = 0;
+  return merged;
+}
+
+}  // namespace ldp::replay

@@ -1,0 +1,95 @@
+// The distributed query engine (§2.6, §3): Controller (Reader + Postman) →
+// Distributors → Queriers, with same-source stickiness at every level so
+// connection reuse can be emulated faithfully.
+//
+// Substitution note (DESIGN.md): the paper runs distributors/queriers as
+// processes on separate client hosts connected by TCP; here they are
+// threads connected by bounded queues. The query path itself — the part
+// whose timing the evaluation validates — uses real UDP/TCP sockets against
+// a real server endpoint, and the §2.6 scheduling math runs unchanged.
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "mutate/mutator.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "replay/schedule.hpp"
+#include "trace/record.hpp"
+#include "util/queue.hpp"
+#include "util/stats.hpp"
+
+namespace ldp::replay {
+
+struct EngineConfig {
+  Endpoint server;            ///< where replayed queries go
+  size_t distributors = 1;
+  size_t queriers_per_distributor = 2;
+  /// Timed replay reproduces trace timing; fast mode sends as fast as
+  /// possible (§2.6 "replay as fast as possible" option, Figure 9).
+  bool timed = true;
+  /// Client-side close for idle TCP/TLS connections (§2.6: "queriers also
+  /// track open TCP connections ... close them after a pre-set timeout").
+  TimeNs tcp_idle_timeout = 20 * kSecond;
+  /// Stop waiting for outstanding responses this long after the last send.
+  TimeNs drain_grace = 2 * kSecond;
+  size_t queue_capacity = 4096;
+  /// Live query mutation (§2.2: "query mutator can run live with query
+  /// replay"): applied by the controller to each record before dispatch.
+  /// The pipeline must outlive the replay. Records the mutator drops or
+  /// cannot decode are skipped and counted.
+  const mutate::MutatorPipeline* live_mutator = nullptr;
+};
+
+/// One sent query, for the Figures 6-8 fidelity analysis.
+struct SendRecord {
+  TimeNs trace_time;   ///< original timestamp (ns, trace timeline)
+  TimeNs send_time;    ///< actual send (ns, monotonic timeline)
+  TimeNs latency = -1; ///< response latency; -1 if unanswered
+  uint32_t querier = 0;
+};
+
+struct EngineReport {
+  std::vector<SendRecord> sends;  ///< in send order per querier, merged
+  uint64_t queries_sent = 0;
+  uint64_t responses_received = 0;
+  uint64_t send_errors = 0;
+  uint64_t connections_opened = 0;
+  uint64_t mutator_dropped = 0;  ///< records removed by the live mutator
+  TimeNs replay_start = 0;  ///< monotonic t₁
+  TimeNs replay_end = 0;
+
+  double duration_s() const { return ns_to_sec(replay_end - replay_start); }
+  double rate_qps() const {
+    double d = duration_s();
+    return d > 0 ? static_cast<double>(queries_sent) / d : 0;
+  }
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineConfig config);
+  ~QueryEngine();
+
+  /// Replay a time-ordered query trace; blocks until every query is sent
+  /// and responses have drained (or the grace period lapses).
+  ///
+  /// `shared_clock` lets several engines replay slices of one trace on a
+  /// common timeline (§2.6 "split input stream to feed multiple
+  /// controllers"); it must already be started. Pass nullptr to let this
+  /// engine latch its own synchronization point.
+  Result<EngineReport> replay(const std::vector<trace::TraceRecord>& trace,
+                              const ReplayClock* shared_clock = nullptr);
+
+ private:
+  class Querier;
+  class Distributor;
+
+  EngineConfig config_;
+  // Same-source stickiness: controller level (source -> distributor).
+  std::unordered_map<IpAddr, size_t, IpAddrHash> source_to_distributor_;
+  size_t next_distributor_ = 0;
+};
+
+}  // namespace ldp::replay

@@ -1,0 +1,65 @@
+#include "replay/multi.hpp"
+
+namespace ldp::replay {
+
+using trace::TraceRecord;
+
+Result<EngineReport> replay_multi_controller(const std::vector<TraceRecord>& trace,
+                                             const MultiControllerConfig& config) {
+  if (trace.empty()) return Err("empty trace");
+  size_t n = std::max<size_t>(1, config.controllers);
+
+  // Sticky partition by source address; slices preserve time order because
+  // the input is scanned in order.
+  std::vector<std::vector<TraceRecord>> slices(n);
+  for (const auto& rec : trace) {
+    if (rec.direction != trace::Direction::Query) continue;
+    slices[rec.src.addr.hash() % n].push_back(rec);
+  }
+
+  // One shared synchronization point (t̄₁ from the whole trace).
+  ReplayClock clock;
+  clock.start(trace.front().timestamp, mono_now_ns() + 200 * kMilli);
+
+  struct Slot {
+    std::optional<Result<EngineReport>> result;
+  };
+  std::vector<Slot> slots(n);
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<QueryEngine>> engines;
+  threads.reserve(n);
+  engines.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    engines.push_back(std::make_unique<QueryEngine>(config.engine));
+    threads.emplace_back([&clock, &slices, &slots, &engines, i] {
+      if (slices[i].empty()) {
+        slots[i].result = EngineReport{};
+        return;
+      }
+      slots[i].result = engines[i]->replay(slices[i], &clock);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EngineReport merged;
+  merged.replay_start = clock.real_origin();
+  for (auto& slot : slots) {
+    if (!slot.result.has_value()) return Err("controller produced no report");
+    if (!slot.result->ok()) return Err(slot.result->error().message);
+    EngineReport& rep = slot.result->value();
+    merged.queries_sent += rep.queries_sent;
+    merged.responses_received += rep.responses_received;
+    merged.send_errors += rep.send_errors;
+    merged.connections_opened += rep.connections_opened;
+    merged.mutator_dropped += rep.mutator_dropped;
+    merged.replay_end = std::max(merged.replay_end, rep.replay_end);
+    for (const auto& sr : rep.sends)
+      merged.replay_start = std::min(merged.replay_start, sr.send_time);
+    merged.sends.insert(merged.sends.end(),
+                        std::make_move_iterator(rep.sends.begin()),
+                        std::make_move_iterator(rep.sends.end()));
+  }
+  return merged;
+}
+
+}  // namespace ldp::replay

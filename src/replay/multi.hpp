@@ -1,0 +1,27 @@
+// Multi-controller replay (§2.6: "If the input trace is extremely fast, the
+// CPU of Controller may become bottleneck ... we can split input stream to
+// feed multiple controllers").
+//
+// The trace is partitioned by query source address (sticky, so the
+// same-source/connection-reuse invariants still hold — a source never
+// spans controllers) into N slices; each slice gets its own QueryEngine
+// running on its own thread, and every engine replays against one shared
+// synchronization point so the merged send schedule matches a
+// single-controller replay of the whole trace.
+#pragma once
+
+#include "replay/engine.hpp"
+
+namespace ldp::replay {
+
+struct MultiControllerConfig {
+  EngineConfig engine;      ///< per-controller engine configuration
+  size_t controllers = 2;   ///< input-stream split factor
+};
+
+/// Partition `trace` by source and replay all slices concurrently.
+/// Returns the merged report (sends from all controllers, unsorted).
+Result<EngineReport> replay_multi_controller(
+    const std::vector<trace::TraceRecord>& trace, const MultiControllerConfig& config);
+
+}  // namespace ldp::replay

@@ -1,0 +1,48 @@
+// Replay timing math (§2.6 "Correct timing for replayed queries").
+//
+// The controller broadcasts a time-synchronization point when the first
+// query is read; each querier latches the trace time t̄₁ and real time t₁ at
+// that moment. For query i:
+//     Δt̄ᵢ = t̄ᵢ − t̄₁   (ideal offset into the trace)
+//     Δtᵢ = tᵢ − t₁   (real time already consumed by input processing)
+//     ΔTᵢ = Δt̄ᵢ − Δtᵢ (timer delay that removes the accumulated input lag)
+// If the input falls behind (ΔTᵢ ≤ 0) the query is sent immediately.
+#pragma once
+
+#include "util/clock.hpp"
+
+namespace ldp::replay {
+
+class ReplayClock {
+ public:
+  /// Latch the synchronization point (t̄₁, t₁).
+  void start(TimeNs trace_time, TimeNs real_time) {
+    trace_origin_ = trace_time;
+    real_origin_ = real_time;
+    started_ = true;
+  }
+
+  bool started() const { return started_; }
+  TimeNs trace_origin() const { return trace_origin_; }
+  TimeNs real_origin() const { return real_origin_; }
+
+  /// ΔTᵢ: how long to wait from `real_time` before sending the query
+  /// stamped `trace_time`. Zero or negative means "send now".
+  TimeNs delay_for(TimeNs trace_time, TimeNs real_time) const {
+    TimeNs trace_offset = trace_time - trace_origin_;
+    TimeNs real_offset = real_time - real_origin_;
+    return trace_offset - real_offset;
+  }
+
+  /// Absolute monotonic deadline for the query stamped `trace_time`.
+  TimeNs deadline_for(TimeNs trace_time) const {
+    return real_origin_ + (trace_time - trace_origin_);
+  }
+
+ private:
+  TimeNs trace_origin_ = 0;
+  TimeNs real_origin_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ldp::replay

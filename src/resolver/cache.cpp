@@ -1,0 +1,61 @@
+#include "resolver/cache.hpp"
+
+namespace ldp::resolver {
+
+void DnsCache::put(const RRset& set, TimeNs now) {
+  positive_[Key{set.name, set.type}] =
+      PositiveEntry{set, now + static_cast<TimeNs>(set.ttl) * kSecond};
+}
+
+void DnsCache::put_negative(const Name& name, RRType type, bool nxdomain, uint32_t ttl,
+                            TimeNs now) {
+  // NXDOMAIN covers the whole name; key it type-independently under ANY.
+  Key key{name, nxdomain ? RRType::ANY : type};
+  negative_[key] = NegativeEntry{nxdomain, now + static_cast<TimeNs>(ttl) * kSecond};
+}
+
+const RRset* DnsCache::get(const Name& name, RRType type, TimeNs now) {
+  auto it = positive_.find(Key{name, type});
+  if (it == positive_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second.expires <= now) {
+    positive_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second.set;
+}
+
+NegativeState DnsCache::get_negative(const Name& name, RRType type, TimeNs now) {
+  // NXDOMAIN first: it wins over per-type NODATA.
+  auto nx = negative_.find(Key{name, RRType::ANY});
+  if (nx != negative_.end()) {
+    if (nx->second.expires > now) return NegativeState::NxDomain;
+    negative_.erase(nx);
+  }
+  auto it = negative_.find(Key{name, type});
+  if (it != negative_.end()) {
+    if (it->second.expires > now) return NegativeState::NoData;
+    negative_.erase(it);
+  }
+  return NegativeState::None;
+}
+
+void DnsCache::purge(TimeNs now) {
+  for (auto it = positive_.begin(); it != positive_.end();) {
+    it = it->second.expires <= now ? positive_.erase(it) : std::next(it);
+  }
+  for (auto it = negative_.begin(); it != negative_.end();) {
+    it = it->second.expires <= now ? negative_.erase(it) : std::next(it);
+  }
+}
+
+void DnsCache::clear() {
+  positive_.clear();
+  negative_.clear();
+}
+
+}  // namespace ldp::resolver

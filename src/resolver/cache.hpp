@@ -1,0 +1,72 @@
+// Resolver cache: positive RRset entries and negative (NXDOMAIN / NODATA)
+// entries with TTL expiry. Cache state is what makes replay fidelity hard —
+// the paper's §2.3 zone-construction pass exists precisely because warm
+// caches hide records from traces — so the cache exposes hit/miss counters
+// and explicit time so experiments control it.
+#pragma once
+
+#include <unordered_map>
+
+#include "dns/rr.hpp"
+#include "util/clock.hpp"
+
+namespace ldp::resolver {
+
+using dns::Name;
+using dns::RRset;
+using dns::RRType;
+
+enum class NegativeState : uint8_t { None, NoData, NxDomain };
+
+class DnsCache {
+ public:
+  /// Insert/replace a positive RRset; expires `set.ttl` seconds after now.
+  void put(const RRset& set, TimeNs now);
+
+  /// Insert a negative entry (ttl from the SOA minimum, RFC 2308).
+  void put_negative(const Name& name, RRType type, bool nxdomain, uint32_t ttl,
+                    TimeNs now);
+
+  /// Live positive entry or nullptr. The pointer is valid until the next
+  /// non-const call.
+  const RRset* get(const Name& name, RRType type, TimeNs now);
+
+  /// Negative state for the (name, type); NxDomain applies to all types.
+  NegativeState get_negative(const Name& name, RRType type, TimeNs now);
+
+  /// Drop expired entries (size() counts live + not-yet-purged).
+  void purge(TimeNs now);
+  void clear();
+
+  size_t size() const { return positive_.size() + negative_.size(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    Name name;
+    RRType type;
+    bool operator==(const Key& o) const { return name == o.name && type == o.type; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return k.name.hash() * 31 + static_cast<size_t>(k.type);
+    }
+  };
+  struct PositiveEntry {
+    RRset set;
+    TimeNs expires;
+  };
+  struct NegativeEntry {
+    bool nxdomain;
+    TimeNs expires;
+  };
+
+  std::unordered_map<Key, PositiveEntry, KeyHash> positive_;
+  std::unordered_map<Key, NegativeEntry, KeyHash> negative_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ldp::resolver

@@ -1,0 +1,40 @@
+#include "resolver/frontend.hpp"
+
+namespace ldp::resolver {
+
+Result<std::unique_ptr<StubFrontend>> StubFrontend::start(net::EventLoop& loop,
+                                                          RecursiveResolver& resolver,
+                                                          StubFrontendConfig config) {
+  auto fe = std::unique_ptr<StubFrontend>(
+      new StubFrontend(loop, resolver, std::move(config)));
+  fe->socket_ = LDP_TRY(net::UdpSocket::bind(fe->config_.bind));
+  fe->endpoint_ = LDP_TRY(fe->socket_->local_endpoint());
+  StubFrontend* raw = fe.get();
+  LDP_TRY_VOID(loop.add_fd(fe->socket_->fd(), net::Interest{true, false},
+                           [raw](bool, bool) { raw->on_readable(); }));
+  return fe;
+}
+
+StubFrontend::~StubFrontend() { shutdown(); }
+
+void StubFrontend::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  if (socket_.has_value()) loop_.remove_fd(socket_->fd());
+}
+
+void StubFrontend::on_readable() {
+  while (true) {
+    auto dg = socket_->recv();
+    if (!dg.ok() || !dg->has_value()) return;
+    auto query = dns::Message::from_wire((**dg).payload);
+    if (!query.ok()) continue;  // stub garbage: drop like a real resolver
+    dns::Message response = resolver_.resolve(*query, config_.now());
+    ++served_;
+    auto wire = response.to_wire(
+        query->edns.has_value() ? query->edns->udp_payload_size : 512);
+    (void)socket_->send_to((**dg).from, wire);
+  }
+}
+
+}  // namespace ldp::resolver

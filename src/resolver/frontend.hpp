@@ -1,0 +1,58 @@
+// UDP frontend for the recursive resolver: accepts stub queries on a real
+// socket, resolves them through the configured upstream (typically the
+// emulated hierarchy), and answers. This is the piece that lets LDplayer
+// replay *recursive* traces end-to-end — the paper's "recursive replay"
+// path in Figure 1, which the authors were still evaluating at publication.
+//
+// Resolution runs synchronously on the loop thread: fine for the in-process
+// and simulated upstreams used in experiments (they return immediately),
+// and for moderate-rate recursive traces like Rec-17 (~6 q/s).
+#pragma once
+
+#include <memory>
+
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "resolver/resolver.hpp"
+
+namespace ldp::resolver {
+
+struct StubFrontendConfig {
+  Endpoint bind{IpAddr{Ip4{127, 0, 0, 1}}, 0};  ///< port 0 = ephemeral
+  /// Clock for cache TTLs; defaults to the monotonic clock.
+  std::function<TimeNs()> now = [] { return mono_now_ns(); };
+};
+
+class StubFrontend {
+ public:
+  /// The resolver must outlive the frontend.
+  static Result<std::unique_ptr<StubFrontend>> start(net::EventLoop& loop,
+                                                     RecursiveResolver& resolver,
+                                                     StubFrontendConfig config = {});
+  ~StubFrontend();
+
+  StubFrontend(const StubFrontend&) = delete;
+  StubFrontend& operator=(const StubFrontend&) = delete;
+
+  const Endpoint& endpoint() const { return endpoint_; }
+  uint64_t queries_served() const { return served_; }
+
+  void shutdown();
+
+ private:
+  StubFrontend(net::EventLoop& loop, RecursiveResolver& resolver,
+               StubFrontendConfig config)
+      : loop_(loop), resolver_(resolver), config_(std::move(config)) {}
+
+  void on_readable();
+
+  net::EventLoop& loop_;
+  RecursiveResolver& resolver_;
+  StubFrontendConfig config_;
+  Endpoint endpoint_;
+  std::optional<net::UdpSocket> socket_;
+  uint64_t served_ = 0;
+  bool shut_down_ = false;
+};
+
+}  // namespace ldp::resolver

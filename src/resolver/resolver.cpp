@@ -1,0 +1,286 @@
+#include "resolver/resolver.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace ldp::resolver {
+
+using dns::AData;
+using dns::Name;
+using dns::NameData;
+using dns::Rcode;
+using dns::ResourceRecord;
+using dns::SoaData;
+
+RecursiveResolver::RecursiveResolver(ResolverConfig config, Upstream upstream)
+    : config_(std::move(config)), upstream_(std::move(upstream)) {}
+
+std::optional<TimeNs> RecursiveResolver::srtt(const IpAddr& server) const {
+  auto it = srtt_.find(server);
+  if (it == srtt_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RecursiveResolver::rank_servers(std::vector<Endpoint>& servers) const {
+  if (config_.selection != ResolverConfig::ServerSelection::SrttBest) return;
+  std::stable_sort(servers.begin(), servers.end(),
+                   [this](const Endpoint& a, const Endpoint& b) {
+                     auto cost = [this](const Endpoint& e) {
+                       auto it = srtt_.find(e.addr);
+                       return it == srtt_.end() ? config_.srtt_initial : it->second;
+                     };
+                     return cost(a) < cost(b);
+                   });
+}
+
+Result<Message> RecursiveResolver::query_upstream(const Endpoint& server,
+                                                  const Message& q) {
+  ++stats_.upstream_queries;
+  TimeNs before = config_.rtt_clock();
+  auto response = upstream_(server, q);
+  TimeNs sample = config_.rtt_clock() - before;
+
+  auto it = srtt_.find(server.addr);
+  if (!response.ok()) {
+    // Failure penalty: double the estimate (or start pessimistic) so lame
+    // or unreachable servers sink in the ranking but stay probe-able.
+    TimeNs base = it == srtt_.end() ? config_.srtt_initial : it->second;
+    srtt_[server.addr] = std::max<TimeNs>(base * 2, 100 * kMilli);
+    return response;
+  }
+  if (it == srtt_.end()) {
+    srtt_[server.addr] = sample;
+  } else {
+    // Classic EWMA: srtt = 7/8 srtt + 1/8 sample.
+    it->second = (it->second * 7 + sample) / 8;
+  }
+  return response;
+}
+
+Message RecursiveResolver::resolve(const dns::Name& qname, RRType qtype, TimeNs now) {
+  Message stub = Message::make_query(next_id_++, qname, qtype, true);
+  return resolve(stub, now);
+}
+
+void RecursiveResolver::cache_response_sets(const Message& response, TimeNs now) {
+  auto cache_section = [&](const std::vector<ResourceRecord>& section) {
+    // Group records into RRsets before caching.
+    for (size_t i = 0; i < section.size(); ++i) {
+      const auto& rr = section[i];
+      if (rr.type == RRType::OPT) continue;
+      bool first = true;
+      for (size_t j = 0; j < i; ++j) {
+        if (section[j].name == rr.name && section[j].type == rr.type) {
+          first = false;
+          break;
+        }
+      }
+      if (!first) continue;
+      dns::RRset set;
+      set.name = rr.name;
+      set.type = rr.type;
+      set.rrclass = rr.rrclass;
+      for (const auto& other : section) {
+        if (other.name == rr.name && other.type == rr.type) set.add(other);
+      }
+      cache_.put(set, now);
+    }
+  };
+  cache_section(response.answers);
+  cache_section(response.authorities);
+  cache_section(response.additionals);
+}
+
+std::vector<Endpoint> RecursiveResolver::best_servers(const Name& qname, TimeNs now) {
+  // Deepest cached delegation wins: walk suffixes longest-first looking for
+  // an NS set whose addresses we also have cached.
+  for (size_t k = qname.label_count() + 1; k-- > 0;) {
+    Name zone = qname.suffix(k);
+    const dns::RRset* ns = cache_.get(zone, RRType::NS, now);
+    if (ns == nullptr) continue;
+    // Collect nameserver names first: cache_.get invalidates prior pointers.
+    std::vector<Name> targets;
+    for (const auto& rd : ns->rdatas) {
+      if (const auto* nd = rd.get_if<NameData>()) targets.push_back(nd->name);
+    }
+    std::vector<Endpoint> servers;
+    for (const auto& target : targets) {
+      if (const dns::RRset* a = cache_.get(target, RRType::A, now)) {
+        for (const auto& rd : a->rdatas) {
+          if (const auto* ad = rd.get_if<AData>())
+            servers.push_back(Endpoint{IpAddr{ad->addr}, 53});
+        }
+      }
+    }
+    if (!servers.empty()) {
+      rank_servers(servers);
+      return servers;
+    }
+  }
+  auto roots = config_.root_servers;
+  rank_servers(roots);
+  return roots;
+}
+
+Rcode RecursiveResolver::iterate(const Name& qname, RRType qtype, TimeNs now,
+                                 Iteration& iter,
+                                 std::vector<ResourceRecord>& answers) {
+  // Cache fast paths.
+  if (cache_.get_negative(qname, qtype, now) == NegativeState::NxDomain)
+    return Rcode::NXDomain;
+  if (cache_.get_negative(qname, qtype, now) == NegativeState::NoData)
+    return Rcode::NoError;
+  if (const dns::RRset* hit = cache_.get(qname, qtype, now)) {
+    for (auto& rr : hit->to_records()) answers.push_back(std::move(rr));
+    return Rcode::NoError;
+  }
+  // Cached CNAME redirects the chain.
+  if (qtype != RRType::CNAME) {
+    if (const dns::RRset* cn = cache_.get(qname, RRType::CNAME, now)) {
+      auto records = cn->to_records();
+      Name target;
+      if (const auto* nd = records[0].rdata.get_if<NameData>()) target = nd->name;
+      for (auto& rr : records) answers.push_back(std::move(rr));
+      if (!target.is_root()) return iterate(target, qtype, now, iter, answers);
+      return Rcode::NoError;
+    }
+  }
+
+  std::vector<Endpoint> servers = best_servers(qname, now);
+  Name current = qname;  // only for loop diagnostics
+
+  while (iter.upstream_budget-- > 0) {
+    if (servers.empty()) return Rcode::ServFail;
+    const Endpoint& server = servers.front();
+
+    Message q = Message::make_query(next_id_++, qname, qtype, false);
+    if (config_.edns_udp_size > 0) {
+      dns::Edns e;
+      e.udp_payload_size = config_.edns_udp_size;
+      e.dnssec_ok = config_.dnssec_ok;
+      q.edns = e;
+    }
+    auto response = query_upstream(server, q);
+    if (!response.ok()) {
+      // Lame/unreachable server: try the next one.
+      servers.erase(servers.begin());
+      continue;
+    }
+    cache_response_sets(*response, now);
+
+    if (response->header.rcode == Rcode::NXDomain) {
+      uint32_t neg_ttl = 300;
+      for (const auto& rr : response->authorities) {
+        if (const auto* soa = rr.rdata.get_if<SoaData>())
+          neg_ttl = std::min(rr.ttl, soa->minimum);
+      }
+      cache_.put_negative(qname, qtype, true, neg_ttl, now);
+      return Rcode::NXDomain;
+    }
+
+    // Authoritative answer (or any answer records for the qname).
+    bool has_answer = false;
+    Name cname_target;
+    for (const auto& rr : response->answers) {
+      if (rr.name == qname && (rr.type == qtype || qtype == RRType::ANY)) {
+        has_answer = true;
+      }
+      if (rr.name == qname && rr.type == RRType::CNAME && qtype != RRType::CNAME) {
+        if (const auto* nd = rr.rdata.get_if<NameData>()) cname_target = nd->name;
+      }
+    }
+    if (has_answer) {
+      for (const auto& rr : response->answers) answers.push_back(rr);
+      return Rcode::NoError;
+    }
+    if (!cname_target.is_root()) {
+      for (const auto& rr : response->answers) answers.push_back(rr);
+      return iterate(cname_target, qtype, now, iter, answers);
+    }
+
+    if (response->header.aa) {
+      // Authoritative NODATA.
+      uint32_t neg_ttl = 300;
+      for (const auto& rr : response->authorities) {
+        if (const auto* soa = rr.rdata.get_if<SoaData>())
+          neg_ttl = std::min(rr.ttl, soa->minimum);
+      }
+      cache_.put_negative(qname, qtype, false, neg_ttl, now);
+      return Rcode::NoError;
+    }
+
+    // Referral: follow the deepest NS set in the authority section.
+    const ResourceRecord* best_ns = nullptr;
+    for (const auto& rr : response->authorities) {
+      if (rr.type != RRType::NS) continue;
+      if (!qname.is_subdomain_of(rr.name)) continue;
+      if (best_ns == nullptr || rr.name.label_count() > best_ns->name.label_count())
+        best_ns = &rr;
+    }
+    if (best_ns == nullptr) return Rcode::ServFail;  // lame response
+    if (!best_ns->name.is_subdomain_of(current) && current == qname) {
+      // fine: first referral
+    }
+    if (best_ns->name.label_count() <= current.label_count() && current != qname) {
+      return Rcode::ServFail;  // referral does not descend: loop
+    }
+    current = best_ns->name;
+
+    // Next servers: glue from this response/cache; resolve NS names that
+    // lack glue recursively (budget shared).
+    std::vector<Name> ns_names;
+    for (const auto& rr : response->authorities) {
+      if (rr.type == RRType::NS && rr.name == best_ns->name) {
+        if (const auto* nd = rr.rdata.get_if<NameData>()) ns_names.push_back(nd->name);
+      }
+    }
+    servers.clear();
+    for (const auto& ns_name : ns_names) {
+      if (const dns::RRset* a = cache_.get(ns_name, RRType::A, now)) {
+        for (const auto& rd : a->rdatas) {
+          if (const auto* ad = rd.get_if<AData>())
+            servers.push_back(Endpoint{IpAddr{ad->addr}, 53});
+        }
+      }
+    }
+    rank_servers(servers);
+    if (servers.empty() && !ns_names.empty()) {
+      // Glueless delegation: resolve the first NS target's address.
+      std::vector<ResourceRecord> ns_answers;
+      auto rc = iterate(ns_names[0], RRType::A, now, iter, ns_answers);
+      if (rc == Rcode::NoError) {
+        for (const auto& rr : ns_answers) {
+          if (const auto* ad = rr.rdata.get_if<AData>())
+            servers.push_back(Endpoint{IpAddr{ad->addr}, 53});
+        }
+      }
+    }
+  }
+  return Rcode::ServFail;
+}
+
+Message RecursiveResolver::resolve(const Message& stub_query, TimeNs now) {
+  ++stats_.stub_queries;
+  Message response = Message::make_response(stub_query);
+  response.header.ra = true;
+
+  if (stub_query.questions.size() != 1) {
+    response.header.rcode = Rcode::FormErr;
+    return response;
+  }
+  const auto& q = stub_query.questions[0];
+
+  uint64_t upstream_before = stats_.upstream_queries;
+  Iteration iter{config_.max_upstream_queries};
+  std::vector<ResourceRecord> answers;
+  Rcode rc = iterate(q.qname, q.qtype, now, iter, answers);
+  response.header.rcode = rc;
+  response.answers = std::move(answers);
+  if (rc == Rcode::ServFail) ++stats_.servfail;
+  if (stats_.upstream_queries == upstream_before && rc != Rcode::ServFail)
+    ++stats_.cache_answers;
+  return response;
+}
+
+}  // namespace ldp::resolver

@@ -1,0 +1,104 @@
+// Iterative (recursive-mode) resolver. This is the "Recursive Server" box
+// of Figure 1: it accepts stub queries, walks the hierarchy from the root
+// hints downward following referrals, caches what it learns, and composes
+// final answers. It is sans-IO: upstream queries go through a caller-
+// provided callback, so the same resolver logic runs
+//   * in-process against the meta-DNS-server + proxies (hierarchy tests),
+//   * over the discrete-event simulator (latency experiments),
+//   * over real sockets.
+#pragma once
+
+#include <functional>
+
+#include "dns/message.hpp"
+#include "resolver/cache.hpp"
+#include "util/ip.hpp"
+
+namespace ldp::resolver {
+
+using dns::Message;
+
+struct ResolverConfig {
+  /// Root hints: addresses to start iteration from.
+  std::vector<Endpoint> root_servers;
+  /// Cap on upstream queries for a single stub query (loops, lame chains).
+  int max_upstream_queries = 30;
+  /// Cap on CNAME chain length.
+  int max_cname_chain = 8;
+  /// EDNS advertised size on upstream queries (0 = no EDNS).
+  uint16_t edns_udp_size = 1232;
+  bool dnssec_ok = false;
+
+  /// Nameserver selection among a zone's servers. §2.3 notes a recursive
+  /// "may choose any of them based on its own strategy" (cf. Yu et al.,
+  /// "Authority Server Selection in DNS Caching Resolvers"): InOrder takes
+  /// the first candidate; SrttBest tracks a smoothed RTT per server
+  /// address and prefers the fastest, with a small exploration bonus for
+  /// unmeasured servers and exponential penalties for failures.
+  enum class ServerSelection { InOrder, SrttBest };
+  ServerSelection selection = ServerSelection::SrttBest;
+  /// Assumed RTT for servers never tried (low = explore them early).
+  TimeNs srtt_initial = 10 * kMilli;
+  /// Clock used to measure upstream RTT samples (injectable for tests and
+  /// virtual-time experiments).
+  std::function<TimeNs()> rtt_clock = [] { return mono_now_ns(); };
+};
+
+struct ResolverStats {
+  uint64_t stub_queries = 0;
+  uint64_t upstream_queries = 0;
+  uint64_t cache_answers = 0;   ///< answered fully from cache
+  uint64_t servfail = 0;
+};
+
+class RecursiveResolver {
+ public:
+  /// Upstream transport: send `query` to `server`, return its response.
+  using Upstream = std::function<Result<Message>(const Endpoint& server,
+                                                 const Message& query)>;
+
+  RecursiveResolver(ResolverConfig config, Upstream upstream);
+
+  /// Resolve one stub query at logical time `now` (drives cache TTLs).
+  /// Always returns a response message (SERVFAIL on iteration failure).
+  Message resolve(const Message& stub_query, TimeNs now);
+
+  /// Convenience wrapper building the stub query.
+  Message resolve(const dns::Name& qname, RRType qtype, TimeNs now);
+
+  DnsCache& cache() { return cache_; }
+  const ResolverStats& stats() const { return stats_; }
+
+  /// Smoothed RTT for a server address, if any sample exists (diagnostics
+  /// and tests).
+  std::optional<TimeNs> srtt(const IpAddr& server) const;
+
+ private:
+  struct Iteration {
+    int upstream_budget;
+  };
+
+  /// Iterate for (qname, qtype); fills `answers` and returns the rcode.
+  dns::Rcode iterate(const dns::Name& qname, RRType qtype, TimeNs now,
+                     Iteration& iter, std::vector<dns::ResourceRecord>& answers);
+
+  /// Best starting nameserver addresses for qname from cache, else roots.
+  std::vector<Endpoint> best_servers(const dns::Name& qname, TimeNs now);
+
+  void cache_response_sets(const Message& response, TimeNs now);
+
+  /// Order candidates per the configured selection strategy (in place).
+  void rank_servers(std::vector<Endpoint>& servers) const;
+  /// Send one upstream query, maintaining SRTT accounting.
+  Result<Message> query_upstream(const Endpoint& server, const Message& q);
+
+  ResolverConfig config_;
+  Upstream upstream_;
+  DnsCache cache_;
+  ResolverStats stats_;
+  uint16_t next_id_ = 1;
+  // EWMA of measured upstream RTT per server address (SrttBest strategy).
+  std::unordered_map<IpAddr, TimeNs, IpAddrHash> srtt_;
+};
+
+}  // namespace ldp::resolver

@@ -1,0 +1,248 @@
+#include "server/auth_server.hpp"
+
+#include <algorithm>
+
+namespace ldp::server {
+
+using dns::Name;
+using dns::NameData;
+using dns::Rdata;
+using dns::ResourceRecord;
+using dns::RRset;
+using dns::RRType;
+using dns::Rcode;
+using zone::LookupStatus;
+
+AuthServer::AuthServer(ServerConfig config)
+    : config_(config),
+      stats_(std::make_unique<ServerStats>()),
+      rotation_(std::make_unique<std::atomic<uint64_t>>(0)) {}
+
+zone::ZoneSet& AuthServer::default_zones() {
+  if (default_view_ == nullptr) {
+    default_view_ = &views_.add_view("default");
+  }
+  return default_view_->zones;
+}
+
+namespace {
+
+Message error_response(const Message& query, Rcode rcode) {
+  Message r = Message::make_response(query);
+  r.header.rcode = rcode;
+  return r;
+}
+
+void append_rrsets(std::vector<ResourceRecord>& section, const std::vector<RRset>& sets) {
+  for (const auto& set : sets) {
+    for (auto& rr : set.to_records()) section.push_back(std::move(rr));
+  }
+}
+
+}  // namespace
+
+void AuthServer::add_dnssec_records(Message& response, bool nxdomain_proof,
+                                    bool referral, const Name& signer) const {
+  const auto& cfg = config_.dnssec;
+  const size_t sig_bytes = cfg.zsk_bits / 8;
+  const int sigs_per_set = cfg.rollover ? 2 : 1;
+
+  // Synthesize an NSEC proof for negative answers before signing, so the
+  // proof itself gets covered.
+  if (nxdomain_proof && !response.authorities.empty()) {
+    const auto& soa_rr = response.authorities.front();
+    dns::NsecData nsec;
+    nsec.next = soa_rr.name;
+    nsec.types = {RRType::SOA, RRType::NS, RRType::NSEC, RRType::RRSIG};
+    response.authorities.push_back(ResourceRecord{
+        soa_rr.name, RRType::NSEC, dns::RRClass::IN, soa_rr.ttl, Rdata{nsec}});
+  }
+
+  auto sign_section = [&](std::vector<ResourceRecord>& section) {
+    // One RRSIG per distinct (name, type) in the section.
+    std::vector<ResourceRecord> sigs;
+    for (size_t i = 0; i < section.size(); ++i) {
+      const auto& rr = section[i];
+      bool first_of_set = true;
+      for (size_t j = 0; j < i; ++j) {
+        if (section[j].name == rr.name && section[j].type == rr.type) {
+          first_of_set = false;
+          break;
+        }
+      }
+      if (!first_of_set || rr.type == RRType::RRSIG) continue;
+      for (int k = 0; k < sigs_per_set; ++k) {
+        dns::RrsigData sig;
+        sig.type_covered = rr.type;
+        sig.algorithm = 8;  // RSA/SHA-256
+        sig.labels = static_cast<uint8_t>(rr.name.label_count());
+        sig.original_ttl = rr.ttl;
+        sig.expiration = 1900000000;
+        sig.inception = 1800000000;
+        sig.key_tag = static_cast<uint16_t>(20326 + k);
+        sig.signer = signer;
+        sig.signature.assign(sig_bytes, 0x51);
+        sigs.push_back(ResourceRecord{rr.name, RRType::RRSIG, dns::RRClass::IN,
+                                      rr.ttl, Rdata{sig}});
+      }
+    }
+    for (auto& s : sigs) section.push_back(std::move(s));
+  };
+
+  if (referral) {
+    // Signed referrals do not sign the NS set or glue; the parent proves
+    // the delegation with a DS RRset plus its signature (RFC 4035 §3.1.4).
+    if (!response.authorities.empty() &&
+        response.authorities.front().type == RRType::NS) {
+      const auto& ns_rr = response.authorities.front();
+      dns::DsData ds;
+      ds.key_tag = 20326;
+      ds.algorithm = 8;
+      ds.digest_type = 2;
+      ds.digest.assign(32, 0xd5);  // SHA-256 digest size
+      std::vector<ResourceRecord> ds_only = {ResourceRecord{
+          ns_rr.name, RRType::DS, dns::RRClass::IN, ns_rr.ttl, Rdata{ds}}};
+      sign_section(ds_only);
+      for (auto& rr : ds_only) response.authorities.push_back(std::move(rr));
+    }
+    return;
+  }
+  sign_section(response.answers);
+  sign_section(response.authorities);
+  // Glue in the additional section is never signed (non-authoritative).
+}
+
+Message AuthServer::answer_from_zone(const zone::Zone& zone, const Message& query) const {
+  Message response = Message::make_response(query);
+  const auto& q = query.questions[0];
+
+  auto result = zone.lookup(q.qname, q.qtype);
+  if (config_.rotate_answers && result.status == LookupStatus::Answer) {
+    // CDN emulation: successive queries see the RRset in rotated order, so
+    // "the first answer" differs per query like a load-balancing authority.
+    uint64_t cursor = rotation_->fetch_add(1, std::memory_order_relaxed);
+    for (auto& set : result.answers) {
+      if (set.rdatas.size() > 1) {
+        size_t shift = static_cast<size_t>(cursor % set.rdatas.size());
+        std::rotate(set.rdatas.begin(),
+                    set.rdatas.begin() + static_cast<long>(shift), set.rdatas.end());
+      }
+    }
+  }
+  switch (result.status) {
+    case LookupStatus::Answer:
+      response.header.aa = true;
+      append_rrsets(response.answers, result.answers);
+      break;
+    case LookupStatus::Cname: {
+      response.header.aa = true;
+      append_rrsets(response.answers, result.answers);
+      if (config_.chase_cname) {
+        // Follow the chain inside this zone, appending what we find.
+        Name target;
+        if (const auto* cn = result.answers[0].rdatas[0].get_if<NameData>())
+          target = cn->name;
+        for (int hop = 0; hop < config_.max_cname_chain && !target.is_root(); ++hop) {
+          auto next = zone.lookup(target, q.qtype);
+          if (next.status == LookupStatus::Answer) {
+            append_rrsets(response.answers, next.answers);
+            break;
+          }
+          if (next.status == LookupStatus::Cname) {
+            append_rrsets(response.answers, next.answers);
+            if (const auto* cn = next.answers[0].rdatas[0].get_if<NameData>()) {
+              target = cn->name;
+              continue;
+            }
+          }
+          break;  // chain leaves the zone or dead-ends
+        }
+      }
+      break;
+    }
+    case LookupStatus::Delegation:
+      // Referral: not authoritative, NS in authority, glue in additional.
+      append_rrsets(response.authorities, result.authorities);
+      append_rrsets(response.additionals, result.additionals);
+      break;
+    case LookupStatus::NoData:
+      response.header.aa = true;
+      append_rrsets(response.authorities, result.authorities);
+      break;
+    case LookupStatus::NxDomain:
+      response.header.aa = true;
+      response.header.rcode = Rcode::NXDomain;
+      append_rrsets(response.authorities, result.authorities);
+      stats_->nxdomain.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+
+  bool want_dnssec = query.edns.has_value() && query.edns->dnssec_ok &&
+                     config_.dnssec.zone_signed;
+  if (want_dnssec) {
+    bool negative = result.status == LookupStatus::NxDomain ||
+                    result.status == LookupStatus::NoData;
+    add_dnssec_records(response, negative,
+                       result.status == LookupStatus::Delegation, zone.origin());
+  }
+  return response;
+}
+
+Message AuthServer::answer(const Message& query, const IpAddr& client) const {
+  stats_->queries.fetch_add(1, std::memory_order_relaxed);
+
+  if (query.header.opcode != dns::Opcode::Query) {
+    stats_->responses.fetch_add(1, std::memory_order_relaxed);
+    return error_response(query, Rcode::NotImp);
+  }
+  if (query.questions.size() != 1) {
+    stats_->formerr.fetch_add(1, std::memory_order_relaxed);
+    stats_->responses.fetch_add(1, std::memory_order_relaxed);
+    return error_response(query, Rcode::FormErr);
+  }
+
+  const zone::View* view = views_.match(client);
+  if (view == nullptr) {
+    stats_->refused.fetch_add(1, std::memory_order_relaxed);
+    stats_->responses.fetch_add(1, std::memory_order_relaxed);
+    return error_response(query, Rcode::Refused);
+  }
+  const zone::Zone* zone = view->zones.find_zone(query.questions[0].qname);
+  if (zone == nullptr) {
+    stats_->refused.fetch_add(1, std::memory_order_relaxed);
+    stats_->responses.fetch_add(1, std::memory_order_relaxed);
+    return error_response(query, Rcode::Refused);
+  }
+
+  Message response = answer_from_zone(*zone, query);
+  stats_->responses.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+std::optional<std::vector<uint8_t>> AuthServer::answer_wire(
+    std::span<const uint8_t> query, const IpAddr& client, size_t udp_limit) const {
+  auto parsed = Message::from_wire(query);
+  if (!parsed.ok()) {
+    // Salvage the id for a FORMERR if at least a header arrived.
+    if (query.size() >= 12) {
+      Message err;
+      err.header.id = static_cast<uint16_t>(query[0] << 8 | query[1]);
+      err.header.qr = true;
+      err.header.rcode = Rcode::FormErr;
+      stats_->formerr.fetch_add(1, std::memory_order_relaxed);
+      auto wire = err.to_wire();
+      stats_->response_bytes.fetch_add(wire.size(), std::memory_order_relaxed);
+      return wire;
+    }
+    return std::nullopt;
+  }
+  Message response = answer(*parsed, client);
+  size_t limit = udp_limit;
+  if (limit > 0 && parsed->edns.has_value())
+    limit = std::max<size_t>(limit, parsed->edns->udp_payload_size);
+  auto wire = response.to_wire(limit);
+  stats_->response_bytes.fetch_add(wire.size(), std::memory_order_relaxed);
+  return wire;
+}
+
+}  // namespace ldp::server

@@ -1,0 +1,93 @@
+// Authoritative server core: the protocol-agnostic question-answering
+// engine behind the meta-DNS-server (§2.4). Given a query and the client
+// source address, it selects a view (split-horizon), routes to the closest
+// enclosing zone, runs the RFC 1034 lookup, and assembles the response —
+// including the DNSSEC records the §5.1 experiment sizes.
+//
+// DNSSEC substitution note: real DNSSEC signs zones offline with RSA keys.
+// The experiments only need the *size* effect of RRSIGs on responses, so a
+// signed AuthServer synthesizes RRSIG records with correctly-sized
+// signature fields (ZSK bits / 8) at answer time; a ZSK rollover doubles
+// the signatures, matching the bandwidth effect measured in Figure 10.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "zone/view.hpp"
+
+namespace ldp::server {
+
+using dns::Message;
+
+struct DnssecConfig {
+  bool zone_signed = false;
+  size_t zsk_bits = 1024;   ///< signature size driver (Figure 10: 1024/2048)
+  bool rollover = false;    ///< ZSK rollover: both keys sign, 2 RRSIGs/set
+};
+
+struct ServerConfig {
+  DnssecConfig dnssec;
+  /// Answer CNAMEs by chasing the chain inside the zone (real servers do).
+  bool chase_cname = true;
+  /// Cap on CNAME chain length to stop loops.
+  int max_cname_chain = 8;
+  /// CDN-style behaviour (§2.3 future work): rotate the record order of
+  /// multi-record answer RRsets per query, like load-balancing authorities
+  /// that hand different first-answers to successive queries.
+  bool rotate_answers = false;
+};
+
+struct ServerStats {
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> refused{0};
+  std::atomic<uint64_t> formerr{0};
+  std::atomic<uint64_t> nxdomain{0};
+  std::atomic<uint64_t> response_bytes{0};  ///< Figure 10's bandwidth input
+};
+
+class AuthServer {
+ public:
+  explicit AuthServer(ServerConfig config = {});
+  AuthServer(AuthServer&&) = default;
+  AuthServer& operator=(AuthServer&&) = default;
+
+  /// The split-horizon view set. Configure one view per emulated
+  /// nameserver group (match_clients = that server's public addresses); an
+  /// unrestricted view acts as the default.
+  zone::ViewSet& views() { return views_; }
+  const zone::ViewSet& views() const { return views_; }
+
+  /// Convenience for single-server setups: one catch-all view.
+  zone::ZoneSet& default_zones();
+
+  /// Answer a parsed query. Always produces a response message (errors
+  /// become FORMERR/NOTIMP/REFUSED responses, as a real server would).
+  Message answer(const Message& query, const IpAddr& client) const;
+
+  /// Wire-to-wire convenience with UDP truncation semantics: `udp_limit`
+  /// of 0 means connection transport (no size limit). Undecodable queries
+  /// yield nullopt (a real server drops what it cannot parse a header
+  /// from).
+  std::optional<std::vector<uint8_t>> answer_wire(std::span<const uint8_t> query,
+                                                  const IpAddr& client,
+                                                  size_t udp_limit) const;
+
+  const ServerStats& stats() const { return *stats_; }
+  ServerConfig& config() { return config_; }
+
+ private:
+  Message answer_from_zone(const zone::Zone& zone, const Message& query) const;
+  void add_dnssec_records(Message& response, bool nxdomain_proof, bool referral,
+                          const dns::Name& signer) const;
+
+  ServerConfig config_;
+  zone::ViewSet views_;
+  zone::View* default_view_ = nullptr;
+  // Heap-allocated so AuthServer stays movable despite the atomics.
+  std::unique_ptr<ServerStats> stats_;
+  std::unique_ptr<std::atomic<uint64_t>> rotation_;  ///< CDN rotation cursor
+};
+
+}  // namespace ldp::server

@@ -1,0 +1,51 @@
+// BackgroundServer: an AuthServer + frontend running its own event loop on
+// a dedicated thread. The replay validation experiments (§4) and benches
+// use this as the system-under-test endpoint on loopback.
+#pragma once
+
+#include <thread>
+
+#include "server/frontend.hpp"
+
+namespace ldp::server {
+
+class BackgroundServer {
+ public:
+  /// Takes ownership of the AuthServer (it must not be touched from other
+  /// threads while running except through its atomic stats).
+  static Result<std::unique_ptr<BackgroundServer>> start(AuthServer server,
+                                                         FrontendConfig config = {}) {
+    auto bg = std::unique_ptr<BackgroundServer>(new BackgroundServer(std::move(server)));
+    auto fe = ServerFrontend::start(bg->loop_, bg->auth_, config);
+    if (!fe.ok()) return Err(fe.error().message);
+    bg->frontend_ = std::move(*fe);
+    bg->thread_ = std::thread([raw = bg.get()] { raw->loop_.run(); });
+    return bg;
+  }
+
+  ~BackgroundServer() { stop(); }
+
+  BackgroundServer(const BackgroundServer&) = delete;
+  BackgroundServer& operator=(const BackgroundServer&) = delete;
+
+  const Endpoint& endpoint() const { return frontend_->endpoint(); }
+  const AuthServer& auth() const { return auth_; }
+  const ConnectionStats& connections() const { return frontend_->connections(); }
+
+  void stop() {
+    if (thread_.joinable()) {
+      loop_.stop();
+      thread_.join();
+    }
+  }
+
+ private:
+  explicit BackgroundServer(AuthServer server) : auth_(std::move(server)) {}
+
+  AuthServer auth_;
+  net::EventLoop loop_;
+  std::unique_ptr<ServerFrontend> frontend_;
+  std::thread thread_;
+};
+
+}  // namespace ldp::server

@@ -1,0 +1,125 @@
+#include "server/frontend.hpp"
+
+#include "util/log.hpp"
+
+namespace ldp::server {
+
+Result<std::unique_ptr<ServerFrontend>> ServerFrontend::start(net::EventLoop& loop,
+                                                              AuthServer& server,
+                                                              FrontendConfig config) {
+  auto fe = std::unique_ptr<ServerFrontend>(new ServerFrontend(loop, server, config));
+
+  fe->udp_ = LDP_TRY(net::UdpSocket::bind(config.bind));
+  fe->endpoint_ = LDP_TRY(fe->udp_->local_endpoint());
+  // TCP listens on the port UDP got (so port 0 requests line up).
+  Endpoint tcp_bind = config.bind;
+  tcp_bind.port = fe->endpoint_.port;
+  fe->listener_ = LDP_TRY(net::TcpListener::listen(tcp_bind));
+
+  ServerFrontend* raw = fe.get();
+  LDP_TRY_VOID(loop.add_fd(fe->udp_->fd(), net::Interest{true, false},
+                           [raw](bool, bool) { raw->on_udp_readable(); }));
+  LDP_TRY_VOID(loop.add_fd(fe->listener_->fd(), net::Interest{true, false},
+                           [raw](bool, bool) { raw->on_tcp_acceptable(); }));
+  fe->sweep_timer_ = loop.add_timer_after(config.sweep_interval, [raw] { raw->sweep_idle(); });
+  return fe;
+}
+
+ServerFrontend::~ServerFrontend() { shutdown(); }
+
+void ServerFrontend::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  if (udp_.has_value()) loop_.remove_fd(udp_->fd());
+  if (listener_.has_value()) loop_.remove_fd(listener_->fd());
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    auto next = std::next(it);
+    loop_.remove_fd(it->stream.fd());
+    connections_.erase(it);
+    --conn_stats_.established;
+    it = next;
+  }
+  loop_.cancel_timer(sweep_timer_);
+}
+
+void ServerFrontend::on_udp_readable() {
+  // Drain the socket: under load many datagrams arrive per wakeup.
+  while (true) {
+    auto dg = udp_->recv();
+    if (!dg.ok() || !dg->has_value()) return;
+    auto reply = server_.answer_wire((**dg).payload, (**dg).from.addr,
+                                     config_.udp_payload_limit);
+    if (reply.has_value()) {
+      (void)udp_->send_to((**dg).from, *reply);
+    }
+  }
+}
+
+void ServerFrontend::on_tcp_acceptable() {
+  while (true) {
+    auto accepted = listener_->accept();
+    if (!accepted.ok() || !accepted->has_value()) return;
+    connections_.emplace_front(std::move(**accepted), mono_now_ns());
+    auto it = connections_.begin();
+    ++conn_stats_.accepted;
+    ++conn_stats_.established;
+    conn_stats_.peak_established =
+        std::max(conn_stats_.peak_established, conn_stats_.established);
+    auto add = loop_.add_fd(it->stream.fd(), net::Interest{true, false},
+                            [this, it](bool readable, bool) {
+                              if (readable) on_conn_readable(it);
+                            });
+    if (!add.ok()) {
+      connections_.erase(it);
+      --conn_stats_.established;
+    }
+  }
+}
+
+void ServerFrontend::on_conn_readable(std::list<Connection>::iterator it) {
+  bool closed = false;
+  auto messages = it->stream.read_messages(closed);
+  if (!messages.ok()) {
+    close_connection(it, false);
+    return;
+  }
+  it->last_activity = mono_now_ns();
+  for (const auto& msg : *messages) {
+    // Connection transports carry no size limit (udp_limit = 0).
+    auto reply = server_.answer_wire(msg, it->stream.peer().addr, 0);
+    if (reply.has_value()) {
+      auto sent = it->stream.send_message(*reply);
+      if (!sent.ok()) {
+        close_connection(it, false);
+        return;
+      }
+    }
+  }
+  if (closed) close_connection(it, false);
+}
+
+void ServerFrontend::close_connection(std::list<Connection>::iterator it, bool idle) {
+  loop_.remove_fd(it->stream.fd());
+  connections_.erase(it);
+  --conn_stats_.established;
+  if (idle) {
+    ++conn_stats_.closed_idle;
+  } else {
+    ++conn_stats_.closed_by_peer;
+  }
+}
+
+void ServerFrontend::sweep_idle() {
+  TimeNs cutoff = mono_now_ns() - config_.tcp_idle_timeout;
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    auto next = std::next(it);
+    if (it->last_activity < cutoff) close_connection(it, true);
+    it = next;
+  }
+  if (!shut_down_) {
+    sweep_timer_ =
+        loop_.add_timer_after(config_.sweep_interval, [this] { sweep_idle(); });
+  }
+}
+
+}  // namespace ldp::server

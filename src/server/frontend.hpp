@@ -1,0 +1,82 @@
+// Socket frontend for AuthServer: UDP + framed-TCP listeners on an
+// EventLoop, with the connection management knobs the §5.2 experiments
+// turn — per-connection idle timeout (5–40 s sweep) and connection
+// accounting (established count, lifetime totals, close reasons).
+#pragma once
+
+#include <list>
+#include <memory>
+
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "server/auth_server.hpp"
+
+namespace ldp::server {
+
+struct FrontendConfig {
+  Endpoint bind{IpAddr{Ip4{127, 0, 0, 1}}, 0};  ///< port 0 = ephemeral
+  /// Idle-connection timeout (the Figures 11/13/14 sweep variable).
+  TimeNs tcp_idle_timeout = 20 * kSecond;
+  /// How often the idle sweep runs.
+  TimeNs sweep_interval = kSecond;
+  size_t udp_payload_limit = 512;
+};
+
+struct ConnectionStats {
+  uint64_t accepted = 0;
+  uint64_t closed_idle = 0;
+  uint64_t closed_by_peer = 0;
+  size_t established = 0;  ///< currently open
+  size_t peak_established = 0;
+};
+
+/// One running server endpoint (UDP + TCP on the same port).
+class ServerFrontend {
+ public:
+  /// Binds both sockets and registers with the loop. The AuthServer must
+  /// outlive the frontend.
+  static Result<std::unique_ptr<ServerFrontend>> start(net::EventLoop& loop,
+                                                       AuthServer& server,
+                                                       FrontendConfig config);
+  ~ServerFrontend();
+
+  ServerFrontend(const ServerFrontend&) = delete;
+  ServerFrontend& operator=(const ServerFrontend&) = delete;
+
+  /// Actual bound endpoint (resolves port 0).
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  const ConnectionStats& connections() const { return conn_stats_; }
+
+  /// Close listeners and all connections (also done by the destructor).
+  void shutdown();
+
+ private:
+  ServerFrontend(net::EventLoop& loop, AuthServer& server, FrontendConfig config)
+      : loop_(loop), server_(server), config_(config) {}
+
+  struct Connection {
+    net::TcpStream stream;
+    TimeNs last_activity;
+    Connection(net::TcpStream s, TimeNs t) : stream(std::move(s)), last_activity(t) {}
+  };
+
+  void on_udp_readable();
+  void on_tcp_acceptable();
+  void on_conn_readable(std::list<Connection>::iterator it);
+  void close_connection(std::list<Connection>::iterator it, bool idle);
+  void sweep_idle();
+
+  net::EventLoop& loop_;
+  AuthServer& server_;
+  FrontendConfig config_;
+  Endpoint endpoint_;
+  std::optional<net::UdpSocket> udp_;
+  std::optional<net::TcpListener> listener_;
+  std::list<Connection> connections_;
+  ConnectionStats conn_stats_;
+  net::EventLoop::TimerId sweep_timer_ = 0;
+  bool shut_down_ = false;
+};
+
+}  // namespace ldp::server

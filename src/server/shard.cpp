@@ -1,0 +1,66 @@
+#include "server/shard.hpp"
+
+#include <algorithm>
+
+namespace ldp::server {
+
+ShardedMetaServer::ShardedMetaServer(size_t shard_count, ServerConfig config) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<AuthServer>(config));
+  zones_per_shard_.assign(shard_count, 0);
+}
+
+Result<size_t> ShardedMetaServer::add_zone(zone::Zone zone,
+                                           const std::vector<IpAddr>& nameserver_addrs) {
+  if (nameserver_addrs.empty())
+    return Err("zone " + zone.origin().to_string() + " has no nameserver addresses");
+
+  // If any address is already routed, the zone must land on that shard;
+  // conflicting prior routes are an error.
+  std::optional<size_t> forced;
+  for (const IpAddr& addr : nameserver_addrs) {
+    auto it = routing_.find(addr);
+    if (it == routing_.end()) continue;
+    if (forced.has_value() && *forced != it->second)
+      return Err("nameserver addresses of " + zone.origin().to_string() +
+                 " straddle shards");
+    forced = it->second;
+  }
+
+  size_t target = forced.has_value()
+                      ? *forced
+                      : static_cast<size_t>(
+                            std::min_element(zones_per_shard_.begin(),
+                                             zones_per_shard_.end()) -
+                            zones_per_shard_.begin());
+
+  zone::View& view = shards_[target]->views().add_view(zone.origin().to_string());
+  for (const IpAddr& addr : nameserver_addrs) {
+    view.match_clients.insert(addr);
+    routing_[addr] = target;
+  }
+  LDP_TRY_VOID(view.zones.add(std::move(zone)));
+  ++zones_per_shard_[target];
+  return target;
+}
+
+std::optional<size_t> ShardedMetaServer::route(const IpAddr& view_key) const {
+  auto it = routing_.find(view_key);
+  if (it == routing_.end()) return std::nullopt;
+  return it->second;
+}
+
+dns::Message ShardedMetaServer::answer(const dns::Message& query,
+                                       const IpAddr& view_key) const {
+  auto shard_idx = route(view_key);
+  if (!shard_idx.has_value()) {
+    dns::Message r = dns::Message::make_response(query);
+    r.header.rcode = dns::Rcode::Refused;
+    return r;
+  }
+  return shards_[*shard_idx]->answer(query, view_key);
+}
+
+}  // namespace ldp::server

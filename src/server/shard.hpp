@@ -1,0 +1,53 @@
+// Sharded meta-DNS-server: zone partitioning across multiple authoritative
+// server instances. §3 notes the prototype recursive proxy "only talks to a
+// single authoritative proxy; supporting partitioning the zones across the
+// set of different authoritative servers is a future work" — this is that
+// feature: §2.2's "multiple instances of the server to support large query
+// rate and massive zones, with routing configuration that redirects queries
+// to the correct servers".
+//
+// Routing key: the split-horizon view selector (the emulated nameserver's
+// public address that the recursive proxy wrote into the query source).
+// Each address maps to exactly one shard, so a proxy — or this router —
+// can forward deterministically.
+#pragma once
+
+#include <memory>
+
+#include "server/auth_server.hpp"
+
+namespace ldp::server {
+
+class ShardedMetaServer {
+ public:
+  /// Create `shard_count` empty server instances (>=1).
+  explicit ShardedMetaServer(size_t shard_count, ServerConfig config = {});
+
+  size_t shard_count() const { return shards_.size(); }
+  AuthServer& shard(size_t i) { return *shards_[i]; }
+  const AuthServer& shard(size_t i) const { return *shards_[i]; }
+
+  /// Install a zone served by `nameserver_addrs` on the least-loaded shard
+  /// (by hosted-zone count); registers the addresses in the routing table.
+  /// Fails if an address is already routed to a different shard (one
+  /// nameserver identity cannot straddle shards).
+  Result<size_t> add_zone(zone::Zone zone, const std::vector<IpAddr>& nameserver_addrs);
+
+  /// Shard index for a view-selector address, if routed.
+  std::optional<size_t> route(const IpAddr& view_key) const;
+
+  /// Full data path: route on the (rewritten) source address and answer
+  /// from the owning shard. Unrouted addresses get REFUSED, like a packet
+  /// delivered to a server that hosts no matching view.
+  dns::Message answer(const dns::Message& query, const IpAddr& view_key) const;
+
+  /// Zones hosted per shard (load-balance introspection).
+  std::vector<size_t> zones_per_shard() const { return zones_per_shard_; }
+
+ private:
+  std::vector<std::unique_ptr<AuthServer>> shards_;
+  std::vector<size_t> zones_per_shard_;
+  std::unordered_map<IpAddr, size_t, IpAddrHash> routing_;
+};
+
+}  // namespace ldp::server

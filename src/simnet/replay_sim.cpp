@@ -1,0 +1,200 @@
+#include "simnet/replay_sim.hpp"
+
+namespace ldp::simnet {
+
+using trace::Direction;
+using trace::TraceRecord;
+
+namespace {
+
+struct ClientConn {
+  bool open = false;
+  Transport transport = Transport::Tcp;
+  TimeNs last_activity = 0;
+  /// When the connection finishes its handshake. Queries arriving earlier
+  /// queue behind it — the burst-behind-handshake effect responsible for
+  /// the paper's non-linear TLS latency growth with RTT (§5.2.4).
+  TimeNs ready_at = 0;
+  uint64_t generation = 0;
+};
+
+struct SimState {
+  Simulator sim;
+  const SimReplayConfig* config;
+  const server::AuthServer* server;
+  SimReplayResult* result;
+
+  std::unordered_map<IpAddr, ClientConn, IpAddrHash> conns;
+  std::unordered_map<IpAddr, uint64_t, IpAddrHash> client_load;
+
+  size_t established = 0;
+  size_t established_tls = 0;
+  size_t time_wait = 0;
+  double busy_us_window = 0;        // CPU busy time in the current window
+  uint64_t response_bytes_window = 0;
+  TimeNs trace_start = 0;
+
+  void add_cpu(double us) { busy_us_window += us; }
+
+  void close_idle(const IpAddr& addr, uint64_t generation) {
+    auto it = conns.find(addr);
+    if (it == conns.end()) return;
+    ClientConn& conn = it->second;
+    if (!conn.open || conn.generation != generation) return;
+    TimeNs deadline = conn.last_activity + config->idle_timeout;
+    if (sim.now() < deadline) {
+      // Activity refreshed since this check was scheduled; re-arm.
+      uint64_t gen = conn.generation;
+      IpAddr key = addr;
+      sim.schedule_at(deadline, [this, key, gen] { close_idle(key, gen); });
+      return;
+    }
+    conn.open = false;
+    --established;
+    if (conn.transport == Transport::Tls) --established_tls;
+    ++result->connections_closed_idle;
+    ++time_wait;
+    sim.schedule_after(kTimeWaitDuration, [this] { --time_wait; });
+  }
+};
+
+}  // namespace
+
+Summary SimReplayResult::steady_memory_gb(size_t skip_samples) const {
+  Sampler s;
+  for (size_t i = std::min(skip_samples, samples.size()); i < samples.size(); ++i)
+    s.add(static_cast<double>(samples[i].memory_bytes) / (1ull << 30));
+  return s.summary();
+}
+
+Summary SimReplayResult::steady_cpu_percent(size_t skip_samples) const {
+  Sampler s;
+  for (size_t i = std::min(skip_samples, samples.size()); i < samples.size(); ++i)
+    s.add(samples[i].cpu_fraction * 100.0);
+  return s.summary();
+}
+
+SimReplayResult simulate_replay(const std::vector<TraceRecord>& trace,
+                                const server::AuthServer& server,
+                                const SimReplayConfig& config) {
+  SimReplayResult result;
+  if (trace.empty()) return result;
+
+  SimState state;
+  state.config = &config;
+  state.server = &server;
+  state.result = &result;
+  state.trace_start = trace.front().timestamp;
+
+  // Pre-compute per-client totals so the Figure 15b busy/non-busy split is
+  // known when latencies are recorded.
+  for (const auto& rec : trace) {
+    if (rec.direction == Direction::Query) ++state.client_load[rec.src.addr];
+  }
+
+  // Query events: feed the trace incrementally (one scheduled event carries
+  // the index of the next record) so millions of records don't all sit in
+  // the heap at once.
+  std::function<void(size_t)> process = [&](size_t i) {
+    while (i < trace.size() && trace[i].direction != Direction::Query) ++i;
+    if (i >= trace.size()) return;
+    const TraceRecord& rec = trace[i];
+
+    // Schedule the next record first: its event time is >= ours.
+    if (i + 1 < trace.size()) {
+      TimeNs next_t = trace[i + 1].timestamp - state.trace_start;
+      state.sim.schedule_at(std::max(next_t, state.sim.now()),
+                            [&process, i] { process(i + 1); });
+    }
+
+    ++result.queries;
+    TimeNs latency = 0;
+
+    if (rec.transport == Transport::Udp) {
+      latency = config.rtt + kServiceTime;
+      state.add_cpu(config.cpu.query_cost_us(Transport::Udp));
+    } else {
+      ClientConn& conn = state.conns[rec.src.addr];
+      TimeNs now = state.sim.now();
+      bool reusable = conn.open && conn.transport == rec.transport &&
+                      (now - conn.last_activity) <= config.idle_timeout;
+      if (reusable) {
+        // If the handshake is still in flight (burst follower), the query
+        // waits for it before its own round trip.
+        TimeNs start = std::max(now, conn.ready_at);
+        latency = (start - now) + config.rtt + kServiceTime;
+        ++result.handshakes_reused;
+      } else {
+        if (conn.open) {
+          // Transport changed mid-trace for this client: retire the old
+          // connection immediately (rare; mutated mixed traces).
+          conn.open = false;
+          --state.established;
+          if (conn.transport == Transport::Tls) --state.established_tls;
+          ++state.time_wait;
+          state.sim.schedule_after(kTimeWaitDuration, [&state] { --state.time_wait; });
+        }
+        latency = (setup_rtts(rec.transport) + 1) * config.rtt + kServiceTime;
+        state.add_cpu(config.cpu.handshake_cost_us(rec.transport));
+        conn.open = true;
+        conn.ready_at = now + setup_rtts(rec.transport) * config.rtt;
+        conn.transport = rec.transport;
+        ++conn.generation;
+        ++result.connections_opened;
+        ++state.established;
+        if (rec.transport == Transport::Tls) ++state.established_tls;
+        result.peak_established = std::max(result.peak_established, state.established);
+
+        IpAddr key = rec.src.addr;
+        uint64_t gen = conn.generation;
+        state.sim.schedule_at(now + config.idle_timeout,
+                              [&state, key, gen] { state.close_idle(key, gen); });
+      }
+      state.add_cpu(config.cpu.query_cost_us(rec.transport));
+      conn.last_activity = now + latency;  // server sees the full exchange
+    }
+
+    // Answer through the real server engine for response accounting.
+    size_t limit = rec.transport == Transport::Udp ? config.udp_limit : 0;
+    auto reply = server.answer_wire(rec.dns_payload, rec.src.addr, limit);
+    if (reply.has_value()) {
+      ++result.responses;
+      state.response_bytes_window += reply->size();
+      if (reply->size() > 2 && ((*reply)[2] & 0x02) != 0) ++result.truncated;
+    }
+
+    double ms = ns_to_ms(latency);
+    result.latency_all_ms.add(ms);
+    if (state.client_load[rec.src.addr] < config.busy_threshold)
+      result.latency_nonbusy_ms.add(ms);
+  };
+
+  state.sim.schedule_at(0, [&process] { process(0); });
+
+  // Sampling events for the whole trace duration.
+  TimeNs duration = trace.back().timestamp - state.trace_start;
+  for (TimeNs t = config.sample_interval; t <= duration + config.sample_interval;
+       t += config.sample_interval) {
+    state.sim.schedule_at(t, [&state, &result, &config, t] {
+      MetricsSample sample;
+      sample.t = t;
+      sample.established = state.established;
+      sample.time_wait = state.time_wait;
+      sample.memory_bytes = config.memory.total(
+          state.established - state.established_tls, state.established_tls,
+          state.time_wait);
+      double window_core_us =
+          static_cast<double>(config.sample_interval) / 1000.0 * config.cpu.cores;
+      sample.cpu_fraction = state.busy_us_window / window_core_us;
+      sample.response_bytes = state.response_bytes_window;
+      state.busy_us_window = 0;
+      state.response_bytes_window = 0;
+      result.samples.push_back(sample);
+    });
+  }
+
+  state.sim.run();
+  return result;
+}
+
+}  // namespace ldp::simnet

@@ -1,0 +1,69 @@
+// Trace replay over the simulated testbed: the driver behind the §5.2
+// experiments (Figures 11, 13, 14, 15) and the DNSSEC bandwidth experiment
+// (Figure 10). Replays a (possibly mutated) trace against an AuthServer in
+// virtual time, modelling per-client connection reuse, server idle
+// timeouts, TIME_WAIT, and the calibrated memory/CPU costs.
+//
+// Connection model: one connection per client source address (the query
+// engine pins same-source queries to one socket, §2.6). A client reuses
+// its connection while the server still holds it open; a connection idle
+// longer than the server timeout is closed server-side, sits in TIME_WAIT
+// for 60 s, and the next query from that client pays the full handshake.
+#pragma once
+
+#include <unordered_map>
+
+#include "server/auth_server.hpp"
+#include "simnet/model.hpp"
+#include "simnet/sim.hpp"
+#include "trace/record.hpp"
+#include "util/stats.hpp"
+
+namespace ldp::simnet {
+
+struct SimReplayConfig {
+  TimeNs rtt = kMilli;                      ///< client<->server round trip
+  TimeNs idle_timeout = 20 * kSecond;       ///< server connection timeout
+  TimeNs sample_interval = 60 * kSecond;    ///< metrics sampling (per minute)
+  MemoryModel memory;
+  CpuModel cpu;
+  /// Busy-client threshold for the Figure 15b split (queries per trace).
+  uint64_t busy_threshold = 250;
+  /// UDP payload limit for truncation semantics.
+  size_t udp_limit = 512;
+};
+
+/// One metrics sample (a point on the Figure 13/14 time axes).
+struct MetricsSample {
+  TimeNs t = 0;
+  size_t established = 0;
+  size_t time_wait = 0;
+  uint64_t memory_bytes = 0;
+  double cpu_fraction = 0;       ///< of all cores, over the last interval
+  uint64_t response_bytes = 0;   ///< sent during the last interval
+};
+
+struct SimReplayResult {
+  std::vector<MetricsSample> samples;
+  Sampler latency_all_ms;      ///< per-query latency, every client
+  Sampler latency_nonbusy_ms;  ///< clients below the busy threshold
+  uint64_t queries = 0;
+  uint64_t responses = 0;
+  uint64_t connections_opened = 0;
+  uint64_t connections_closed_idle = 0;
+  uint64_t handshakes_reused = 0;  ///< queries that reused a connection
+  uint64_t truncated = 0;
+  size_t peak_established = 0;
+
+  /// Steady-state view (samples after the warmup prefix).
+  Summary steady_memory_gb(size_t skip_samples = 5) const;
+  Summary steady_cpu_percent(size_t skip_samples = 5) const;
+};
+
+/// Replay `trace` against `server` in virtual time. The trace must be
+/// time-ordered. `server` may be shared across runs (stats accumulate).
+SimReplayResult simulate_replay(const std::vector<trace::TraceRecord>& trace,
+                                const server::AuthServer& server,
+                                const SimReplayConfig& config);
+
+}  // namespace ldp::simnet

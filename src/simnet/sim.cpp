@@ -1,0 +1,41 @@
+#include "simnet/sim.hpp"
+
+#include <cassert>
+
+namespace ldp::simnet {
+
+void Simulator::schedule_at(TimeNs t, Event fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Entry{t, seq_++, std::move(fn)});
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top is const; const_cast to move the closure out
+    // before pop (safe: we pop immediately).
+    Entry& top = const_cast<Entry&>(queue_.top());
+    TimeNs t = top.t;
+    Event fn = std::move(top.fn);
+    queue_.pop();
+    now_ = t;
+    ++processed_;
+    fn();
+  }
+}
+
+void Simulator::run_until(TimeNs t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().t <= t) {
+    Entry& top = const_cast<Entry&>(queue_.top());
+    TimeNs et = top.t;
+    Event fn = std::move(top.fn);
+    queue_.pop();
+    now_ = et;
+    ++processed_;
+    fn();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace ldp::simnet

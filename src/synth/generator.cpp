@@ -1,0 +1,233 @@
+#include "synth/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace ldp::synth {
+
+using dns::Message;
+using dns::Name;
+using dns::RRType;
+
+std::vector<IpAddr> make_client_pool(size_t count, Rng& rng) {
+  std::unordered_set<uint32_t> seen;
+  std::vector<IpAddr> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    // First octet 1..223, avoiding 0/10/127 networks; good enough for
+    // distinct, public-looking unicast addresses.
+    uint32_t v = static_cast<uint32_t>(rng.uniform(1, 223)) << 24 |
+                 static_cast<uint32_t>(rng.uniform(0, 0xffffff));
+    uint32_t top = v >> 24;
+    if (top == 10 || top == 127) continue;
+    if (!seen.insert(v).second) continue;
+    out.emplace_back(Ip4{v});
+  }
+  return out;
+}
+
+namespace {
+
+uint16_t ephemeral_port(Rng& rng) {
+  return static_cast<uint16_t>(rng.uniform(32768, 60999));
+}
+
+std::string random_label(Rng& rng, size_t min_len, size_t max_len) {
+  size_t len = rng.uniform(min_len, max_len);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i)
+    out.push_back(static_cast<char>('a' + rng.uniform(0, 25)));
+  return out;
+}
+
+RRType sample_qtype(Rng& rng) {
+  // Approximate root-traffic qtype mix: A dominates, then AAAA, then a tail.
+  double u = rng.uniform01();
+  if (u < 0.55) return RRType::A;
+  if (u < 0.80) return RRType::AAAA;
+  if (u < 0.87) return RRType::NS;
+  if (u < 0.92) return RRType::MX;
+  if (u < 0.95) return RRType::TXT;
+  if (u < 0.98) return RRType::SOA;
+  return RRType::DS;
+}
+
+}  // namespace
+
+std::vector<TraceRecord> make_fixed_trace(const FixedTraceSpec& spec) {
+  Rng rng(spec.seed);
+  auto clients = make_client_pool(spec.client_count, rng);
+  Endpoint server{IpAddr{Ip4{192, 0, 2, 1}}, 53};
+
+  std::vector<TraceRecord> out;
+  size_t n = spec.interarrival_ns > 0
+                 ? static_cast<size_t>(spec.duration_ns / spec.interarrival_ns)
+                 : 0;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TimeNs t = spec.start_time + static_cast<TimeNs>(i) * spec.interarrival_ns;
+    // Unique query name per query (§4.1) so originals and replays match up.
+    auto qname = Name::parse("q" + std::to_string(i) + "." + spec.name_suffix);
+    Message msg = Message::make_query(static_cast<uint16_t>(i & 0xffff), *qname,
+                                      RRType::A, false);
+    Endpoint src{clients[i % clients.size()], ephemeral_port(rng)};
+    out.push_back(trace::make_query_record(t, src, server, msg, spec.transport));
+  }
+  return out;
+}
+
+std::vector<TraceRecord> make_root_trace(const RootTraceSpec& spec) {
+  Rng rng(spec.seed);
+  auto clients = make_client_pool(spec.client_count, rng);
+  // Two-population load model (see RootTraceSpec): Zipf within the busy
+  // head, Zipf across the sparse tail, mixed by busy_load_fraction.
+  size_t busy_count = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(spec.client_count) *
+                             spec.busy_client_fraction));
+  busy_count = std::min(busy_count, spec.client_count);
+  size_t tail_count = std::max<size_t>(1, spec.client_count - busy_count);
+  ZipfSampler head_zipf(busy_count, spec.head_zipf_s);
+  ZipfSampler tail_zipf(tail_count, spec.tail_zipf_s);
+  auto sample_client = [&](Rng& r) -> size_t {
+    if (r.bernoulli(spec.busy_load_fraction)) return head_zipf.sample(r);
+    size_t idx = busy_count + tail_zipf.sample(r);
+    return std::min(idx, spec.client_count - 1);
+  };
+
+  std::vector<TraceRecord> out;
+  out.reserve(static_cast<size_t>(spec.mean_rate_qps * ns_to_sec(spec.duration_ns)));
+
+  // Per-client sticky source port (a resolver reuses its socket).
+  std::vector<uint16_t> client_port(spec.client_count, 0);
+
+  TimeNs t = spec.start_time;
+  const TimeNs end = spec.start_time + spec.duration_ns;
+  uint16_t id = 0;
+  while (t < end) {
+    // Rate modulated sinusoidally over the trace for per-second variation
+    // (Figure 8 relies on the rate changing over time).
+    double phase = ns_to_sec(t - spec.start_time) / 60.0 * 2.0 * M_PI;
+    // Burst follow-ups add load on top of the arrival process; shrink the
+    // base rate so the total (arrivals + bursts) matches mean_rate_qps.
+    double base_rate = spec.mean_rate_qps / (1.0 + spec.burst_fraction);
+    double rate = base_rate * (1.0 + spec.rate_amplitude * std::sin(phase));
+    t += static_cast<TimeNs>(rng.exponential(1.0 / rate) * kSecond);
+    if (t >= end) break;
+
+    size_t client_idx = sample_client(rng);
+    if (client_port[client_idx] == 0) client_port[client_idx] = ephemeral_port(rng);
+
+    // Query name: junk (nonexistent TLD) or a name under a real TLD.
+    std::string qname_text;
+    if (rng.bernoulli(spec.junk_fraction)) {
+      qname_text = random_label(rng, 6, 16);  // e.g. "local"-style junk
+    } else {
+      const std::string& tld = spec.tlds[rng.uniform(0, spec.tlds.size() - 1)];
+      qname_text = random_label(rng, 3, 10) + "." + tld;
+    }
+    auto qname = Name::parse(qname_text);
+    if (!qname.ok()) continue;
+
+    Message msg = Message::make_query(id++, *qname, sample_qtype(rng), false);
+    if (rng.bernoulli(spec.do_fraction)) {
+      dns::Edns e;
+      e.udp_payload_size = rng.bernoulli(0.7) ? 4096 : 1232;
+      e.dnssec_ok = true;
+      msg.edns = e;
+    }
+    Transport transport = rng.bernoulli(spec.tcp_fraction) ? Transport::Tcp
+                                                           : Transport::Udp;
+    Endpoint src{clients[client_idx], client_port[client_idx]};
+    out.push_back(trace::make_query_record(t, src, spec.server, msg, transport));
+
+    // Paired AAAA follow-up from the same client (stub A+AAAA behaviour),
+    // with a log-uniform gap spanning back-to-back pairs to slow retries.
+    if (rng.bernoulli(spec.burst_fraction)) {
+      double lo = std::log(static_cast<double>(spec.burst_gap_min));
+      double hi = std::log(static_cast<double>(std::max(spec.burst_gap_max,
+                                                        spec.burst_gap_min + 1)));
+      TimeNs gap = static_cast<TimeNs>(std::exp(lo + (hi - lo) * rng.uniform01()));
+      if (t + gap < end) {
+        Message pair = Message::make_query(id++, *qname, RRType::AAAA, false);
+        pair.edns = msg.edns;
+        out.push_back(
+            trace::make_query_record(t + gap, src, spec.server, pair, transport));
+      }
+    }
+  }
+  // Burst follow-ups can land after later arrivals; restore time order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+std::vector<TraceRecord> make_attack_trace(const AttackTraceSpec& spec) {
+  Rng rng(spec.seed);
+  auto sources = make_client_pool(spec.spoofed_sources, rng);
+
+  std::vector<TraceRecord> out;
+  out.reserve(static_cast<size_t>(spec.rate_qps * ns_to_sec(spec.duration_ns)));
+  TimeNs t = spec.start_time;
+  const TimeNs end = spec.start_time + spec.duration_ns;
+  uint16_t id = 0;
+  while (t < end) {
+    // Attack tools pace almost uniformly; jitter only slightly.
+    t += static_cast<TimeNs>(kSecond / spec.rate_qps *
+                             (0.9 + 0.2 * rng.uniform01()));
+    if (t >= end) break;
+    std::string qname_text;
+    if (spec.kind == AttackTraceSpec::Kind::RandomSubdomain) {
+      qname_text = random_label(rng, 10, 16) + "." + spec.victim_domain;
+    } else {
+      qname_text = spec.victim_domain;
+    }
+    auto qname = Name::parse(qname_text);
+    if (!qname.ok()) continue;
+    Message msg = Message::make_query(id++, *qname, RRType::A, false);
+    // Spoofed source, fresh for every packet (no port stickiness).
+    Endpoint src{sources[rng.uniform(0, sources.size() - 1)], ephemeral_port(rng)};
+    out.push_back(trace::make_query_record(t, src, spec.server, msg, Transport::Udp));
+  }
+  return out;
+}
+
+std::vector<TraceRecord> make_recursive_trace(const RecursiveTraceSpec& spec) {
+  Rng rng(spec.seed);
+  auto clients = make_client_pool(spec.client_count, rng);
+
+  // A fixed universe of SLDs; queries pick zones Zipf-style (a recursive
+  // server sees a few hot zones and a long tail).
+  std::vector<std::string> zones;
+  zones.reserve(spec.zone_count);
+  static const char* kTlds[] = {"com", "net", "org", "edu", "io"};
+  for (size_t i = 0; i < spec.zone_count; ++i) {
+    zones.push_back(random_label(rng, 4, 12) + "." +
+                    kTlds[rng.uniform(0, std::size(kTlds) - 1)]);
+  }
+  ZipfSampler zone_zipf(zones.size(), 1.0);
+  static const char* kHosts[] = {"www", "mail", "api", "cdn", "ns1"};
+
+  std::vector<TraceRecord> out;
+  out.reserve(spec.query_count);
+  TimeNs t = spec.start_time;
+  for (size_t i = 0; i < spec.query_count; ++i) {
+    t += static_cast<TimeNs>(
+        rng.lognormal_mean_sd(spec.interarrival_mean_s, spec.interarrival_stdev_s) *
+        kSecond);
+    const std::string& zone = zones[zone_zipf.sample(rng)];
+    std::string qname_text =
+        std::string(kHosts[rng.uniform(0, std::size(kHosts) - 1)]) + "." + zone;
+    auto qname = Name::parse(qname_text);
+    Message msg = Message::make_query(static_cast<uint16_t>(i & 0xffff), *qname,
+                                      sample_qtype(rng), true);
+    Endpoint src{clients[rng.uniform(0, clients.size() - 1)], ephemeral_port(rng)};
+    out.push_back(trace::make_query_record(t, src, spec.server, msg, Transport::Udp));
+  }
+  return out;
+}
+
+}  // namespace ldp::synth

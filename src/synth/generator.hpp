@@ -1,0 +1,108 @@
+// Synthetic trace generators. These stand in for the paper's restricted-
+// access traces (B-Root DITL 2016/2017, the Rec-17 recursive trace) and for
+// the evaluation's synthetic fixed-interval traces (Table 1, syn-0..syn-4).
+//
+// The generators reproduce the properties the evaluation depends on:
+//  * syn-*: fixed inter-arrival, unique query names (so replayed queries can
+//    be matched one-to-one with originals, §4.2);
+//  * B-Root-like: heavy-tailed per-client load (1% of clients ≈ 75% of
+//    queries, 81% send <10 — Figure 15c), per-second rate variation,
+//    realistic qtype / DO-bit / transport mixes (72.3% DO, 3% TCP — §5);
+//  * Rec-17-like: hundreds of distinct zones under a recursive server.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace ldp::synth {
+
+using trace::TraceRecord;
+
+/// Fixed inter-arrival trace (Table 1 syn-0..4: 1 s down to 0.1 ms gaps).
+struct FixedTraceSpec {
+  TimeNs interarrival_ns = kSecond;       ///< gap between queries
+  TimeNs duration_ns = 60 * kSecond;      ///< trace length
+  size_t client_count = 10000;            ///< distinct source addresses
+  std::string name_suffix = "example.com";  ///< unique names are <i>.<suffix>
+  Transport transport = Transport::Udp;
+  TimeNs start_time = 0;
+  uint64_t seed = 1;
+};
+
+std::vector<TraceRecord> make_fixed_trace(const FixedTraceSpec& spec);
+
+/// B-Root-like trace.
+struct RootTraceSpec {
+  double mean_rate_qps = 2000;        ///< scaled-down DITL rate
+  TimeNs duration_ns = 60 * kSecond;
+  size_t client_count = 20000;
+  // Client-load model, matching Figure 15c's two-population shape: a tiny
+  // busy head carries most of the load (the paper: 1% of clients send 75%
+  // of root queries) while the vast sparse tail sends a handful of queries
+  // each (81% of clients send <10 over 20 minutes).
+  double busy_client_fraction = 0.01;  ///< share of clients in the busy head
+  double busy_load_fraction = 0.75;    ///< share of queries the head sends
+  double head_zipf_s = 0.6;            ///< skew inside the busy head
+  double tail_zipf_s = 0.8;            ///< skew across the sparse tail
+  /// Fraction of queries followed by a paired AAAA query from the same
+  /// client (stubs fire A+AAAA back to back, retries trail by ~100s of ms).
+  /// Because these gaps are fixed in *time* while handshakes scale with
+  /// RTT, followers flip from connection reuse to queuing behind the
+  /// handshake as RTT grows — the §5.2.4 latency non-linearity.
+  double burst_fraction = 0.3;
+  TimeNs burst_gap_min = 2 * kMilli;    ///< log-uniform gap range
+  TimeNs burst_gap_max = 500 * kMilli;
+  double do_fraction = 0.723;         ///< queries with EDNS DO set (mid-2016)
+  double tcp_fraction = 0.03;         ///< DNS-over-TCP share in DITL traces
+  double junk_fraction = 0.35;        ///< queries for nonexistent TLDs
+  double rate_amplitude = 0.15;       ///< sinusoidal per-second rate swing
+  std::vector<std::string> tlds = {"com", "net", "org", "arpa", "edu", "gov",
+                                   "io", "de", "uk", "jp", "cn", "fr"};
+  TimeNs start_time = 0;
+  uint64_t seed = 1;
+  Endpoint server{IpAddr{Ip4{192, 0, 2, 1}}, 53};
+};
+
+std::vector<TraceRecord> make_root_trace(const RootTraceSpec& spec);
+
+/// Rec-17-like trace: few clients, many zones, slow Poisson-ish arrivals.
+struct RecursiveTraceSpec {
+  size_t query_count = 20000;
+  size_t client_count = 91;
+  size_t zone_count = 549;            ///< distinct SLDs touched (Table 1)
+  double interarrival_mean_s = 0.1808;
+  double interarrival_stdev_s = 0.3554;
+  TimeNs start_time = 0;
+  uint64_t seed = 1;
+  Endpoint server{IpAddr{Ip4{10, 0, 0, 53}}, 53};
+};
+
+std::vector<TraceRecord> make_recursive_trace(const RecursiveTraceSpec& spec);
+
+/// Denial-of-service workload (§1: "How does current server operate under
+/// the stress of a DoS attack?"). Two classic shapes:
+///  * RandomSubdomain — "water torture": unique random labels under one
+///    victim domain, defeating caches and forcing authoritative work;
+///  * DirectFlood — identical queries from spoofed sources at line rate.
+struct AttackTraceSpec {
+  enum class Kind { RandomSubdomain, DirectFlood };
+  Kind kind = Kind::RandomSubdomain;
+  double rate_qps = 50000;
+  TimeNs duration_ns = 10 * kSecond;
+  /// Spoofed-source pool; DoS floods show huge apparent client diversity.
+  size_t spoofed_sources = 100000;
+  std::string victim_domain = "example.com";
+  TimeNs start_time = 0;
+  uint64_t seed = 1;
+  Endpoint server{IpAddr{Ip4{192, 0, 2, 1}}, 53};
+};
+
+std::vector<TraceRecord> make_attack_trace(const AttackTraceSpec& spec);
+
+/// Deterministic pool of distinct public-looking IPv4 client addresses.
+std::vector<IpAddr> make_client_pool(size_t count, Rng& rng);
+
+}  // namespace ldp::synth

@@ -1,0 +1,17 @@
+#include "trace/record.hpp"
+
+namespace ldp::trace {
+
+TraceRecord make_query_record(TimeNs t, Endpoint src, Endpoint dst,
+                              const dns::Message& msg, Transport transport) {
+  TraceRecord rec;
+  rec.timestamp = t;
+  rec.src = src;
+  rec.dst = dst;
+  rec.transport = transport;
+  rec.direction = msg.header.qr ? Direction::Response : Direction::Query;
+  rec.dns_payload = msg.to_wire();
+  return rec;
+}
+
+}  // namespace ldp::trace

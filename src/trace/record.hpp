@@ -1,0 +1,41 @@
+// The trace record: one captured DNS message with its timing and transport
+// metadata. This is the unit that flows through every LDplayer input path
+// (Figure 3): pcap → records → plain text → records → internal binary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "util/clock.hpp"
+#include "util/ip.hpp"
+#include "util/transport.hpp"
+
+namespace ldp::trace {
+
+enum class Direction : uint8_t { Query = 0, Response = 1 };
+
+struct TraceRecord {
+  TimeNs timestamp = 0;  ///< capture time, ns since Unix epoch
+  Endpoint src;
+  Endpoint dst;
+  Transport transport = Transport::Udp;
+  Direction direction = Direction::Query;
+  std::vector<uint8_t> dns_payload;  ///< DNS message in wire format
+
+  /// Decode the payload (convenience; callers on hot paths keep the bytes).
+  Result<dns::Message> message() const { return dns::Message::from_wire(dns_payload); }
+
+  bool operator==(const TraceRecord& o) const {
+    return timestamp == o.timestamp && src == o.src && dst == o.dst &&
+           transport == o.transport && direction == o.direction &&
+           dns_payload == o.dns_payload;
+  }
+};
+
+/// Build a query record from parts (test and generator helper).
+TraceRecord make_query_record(TimeNs t, Endpoint src, Endpoint dst,
+                              const dns::Message& msg,
+                              Transport transport = Transport::Udp);
+
+}  // namespace ldp::trace

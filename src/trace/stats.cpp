@@ -1,0 +1,68 @@
+#include "trace/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+namespace ldp::trace {
+
+TraceStats compute_stats(const std::vector<TraceRecord>& records) {
+  TraceStats stats;
+  stats.records = records.size();
+  if (records.empty()) return stats;
+
+  stats.start = records.front().timestamp;
+  stats.end = records.front().timestamp;
+
+  std::unordered_set<IpAddr, IpAddrHash> clients;
+  double sum = 0, sum2 = 0;
+  size_t gaps = 0;
+  TimeNs prev_query = 0;
+  bool have_prev = false;
+
+  for (const auto& rec : records) {
+    stats.start = std::min(stats.start, rec.timestamp);
+    stats.end = std::max(stats.end, rec.timestamp);
+    if (rec.direction == Direction::Query) {
+      ++stats.queries;
+      clients.insert(rec.src.addr);
+      if (have_prev) {
+        double gap = ns_to_sec(rec.timestamp - prev_query);
+        sum += gap;
+        sum2 += gap * gap;
+        ++gaps;
+      }
+      prev_query = rec.timestamp;
+      have_prev = true;
+    } else {
+      ++stats.responses;
+    }
+  }
+  stats.unique_clients = clients.size();
+  if (gaps > 0) {
+    stats.interarrival_mean_s = sum / static_cast<double>(gaps);
+    double var = sum2 / static_cast<double>(gaps) -
+                 stats.interarrival_mean_s * stats.interarrival_mean_s;
+    stats.interarrival_stdev_s = var > 0 ? std::sqrt(var) : 0;
+  }
+  return stats;
+}
+
+std::unordered_map<IpAddr, uint64_t, IpAddrHash> per_client_load(
+    const std::vector<TraceRecord>& records) {
+  std::unordered_map<IpAddr, uint64_t, IpAddrHash> load;
+  for (const auto& rec : records) {
+    if (rec.direction == Direction::Query) ++load[rec.src.addr];
+  }
+  return load;
+}
+
+std::string format_stats_row(const std::string& name, const TraceStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-12s %8.0fs  %.6f ±%.6f  %9zu  %12zu", name.c_str(),
+                stats.duration_s(), stats.interarrival_mean_s,
+                stats.interarrival_stdev_s, stats.unique_clients, stats.queries);
+  return buf;
+}
+
+}  // namespace ldp::trace

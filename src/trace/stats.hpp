@@ -1,0 +1,42 @@
+// Trace statistics: the columns of the paper's Table 1 (start, duration,
+// inter-arrival mean/sd, unique client IPs, record count) plus the
+// per-client query-load distribution behind Figure 15c.
+#pragma once
+
+#include <unordered_map>
+
+#include "trace/record.hpp"
+#include "util/stats.hpp"
+
+namespace ldp::trace {
+
+struct TraceStats {
+  size_t records = 0;
+  size_t queries = 0;
+  size_t responses = 0;
+  size_t unique_clients = 0;
+  TimeNs start = 0;
+  TimeNs end = 0;
+  double interarrival_mean_s = 0;
+  double interarrival_stdev_s = 0;
+
+  double duration_s() const { return ns_to_sec(end - start); }
+  double mean_rate_qps() const {
+    double d = duration_s();
+    return d > 0 ? static_cast<double>(queries) / d : 0;
+  }
+};
+
+/// Single pass over a (time-ordered) trace. Inter-arrival statistics are
+/// computed over query records only, matching Table 1.
+TraceStats compute_stats(const std::vector<TraceRecord>& records);
+
+/// Queries sent per client address — the Figure 15c CDF input and the basis
+/// for the busy/non-busy client split in §5.2.4.
+std::unordered_map<IpAddr, uint64_t, IpAddrHash> per_client_load(
+    const std::vector<TraceRecord>& records);
+
+/// Render stats as the Table 1 row format used by bench/table1_traces.
+std::string format_stats_row(const std::string& name, const TraceStats& stats);
+
+}  // namespace ldp::trace

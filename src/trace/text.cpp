@@ -1,0 +1,126 @@
+#include "trace/text.hpp"
+
+#include "util/strings.hpp"
+
+namespace ldp::trace {
+
+using dns::Message;
+
+Result<std::string> record_to_text(const TraceRecord& rec) {
+  Message msg = LDP_TRY(rec.message());
+  if (msg.questions.size() != 1)
+    return Err("query must carry exactly one question");
+
+  std::string flags;
+  auto add_flag = [&flags](bool on, const char* name) {
+    if (!on) return;
+    if (!flags.empty()) flags += ",";
+    flags += name;
+  };
+  add_flag(msg.header.qr, "qr");
+  add_flag(msg.header.aa, "aa");
+  add_flag(msg.header.tc, "tc");
+  add_flag(msg.header.rd, "rd");
+  add_flag(msg.header.ra, "ra");
+  add_flag(msg.header.ad, "ad");
+  add_flag(msg.header.cd, "cd");
+  add_flag(msg.edns.has_value() && msg.edns->dnssec_ok, "do");
+  if (flags.empty()) flags = "-";
+
+  std::string edns = msg.edns.has_value()
+                         ? std::to_string(msg.edns->udp_payload_size)
+                         : "-";
+
+  const auto& q = msg.questions[0];
+  return format_seconds_ns(rec.timestamp) + " " + rec.src.addr.to_string() + " " +
+         std::to_string(rec.src.port) + " " + rec.dst.addr.to_string() + " " +
+         std::to_string(rec.dst.port) + " " + transport_name(rec.transport) + " " +
+         std::to_string(msg.header.id) + " " + q.qname.to_string() + " " +
+         dns::rrclass_to_string(q.qclass) + " " + dns::rrtype_to_string(q.qtype) +
+         " " + flags + " " + edns;
+}
+
+Result<TraceRecord> record_from_text(std::string_view line) {
+  auto cols = split_ws(line);
+  if (cols.size() != 12)
+    return Err("expected 12 columns, got " + std::to_string(cols.size()));
+
+  TraceRecord rec;
+  rec.timestamp = LDP_TRY(parse_seconds_ns(cols[0]));
+  rec.src.addr = LDP_TRY(IpAddr::parse(cols[1]));
+  uint64_t sport = LDP_TRY(parse_u64(cols[2]));
+  rec.dst.addr = LDP_TRY(IpAddr::parse(cols[3]));
+  uint64_t dport = LDP_TRY(parse_u64(cols[4]));
+  if (sport > 0xffff || dport > 0xffff) return Err("port out of range");
+  rec.src.port = static_cast<uint16_t>(sport);
+  rec.dst.port = static_cast<uint16_t>(dport);
+  rec.transport = LDP_TRY(transport_from_string(cols[5]));
+
+  Message msg;
+  uint64_t id = LDP_TRY(parse_u64(cols[6]));
+  if (id > 0xffff) return Err("id out of range");
+  msg.header.id = static_cast<uint16_t>(id);
+
+  dns::Question q;
+  q.qname = LDP_TRY(dns::Name::parse(cols[7]));
+  q.qclass = LDP_TRY(dns::rrclass_from_string(cols[8]));
+  q.qtype = LDP_TRY(dns::rrtype_from_string(cols[9]));
+  msg.questions.push_back(std::move(q));
+
+  bool dnssec_ok = false;
+  if (cols[10] != "-") {
+    for (auto flag : split(cols[10], ',')) {
+      if (flag == "qr") msg.header.qr = true;
+      else if (flag == "aa") msg.header.aa = true;
+      else if (flag == "tc") msg.header.tc = true;
+      else if (flag == "rd") msg.header.rd = true;
+      else if (flag == "ra") msg.header.ra = true;
+      else if (flag == "ad") msg.header.ad = true;
+      else if (flag == "cd") msg.header.cd = true;
+      else if (flag == "do") dnssec_ok = true;
+      else return Err("unknown flag: " + std::string(flag));
+    }
+  }
+  if (cols[11] != "-") {
+    dns::Edns e;
+    uint64_t size = LDP_TRY(parse_u64(cols[11]));
+    if (size > 0xffff) return Err("EDNS size out of range");
+    e.udp_payload_size = static_cast<uint16_t>(size);
+    e.dnssec_ok = dnssec_ok;
+    msg.edns = e;
+  } else if (dnssec_ok) {
+    return Err("do flag requires an EDNS size");
+  }
+
+  rec.direction = msg.header.qr ? Direction::Response : Direction::Query;
+  rec.dns_payload = msg.to_wire();
+  return rec;
+}
+
+Result<std::string> trace_to_text(const std::vector<TraceRecord>& records) {
+  std::string out;
+  out.reserve(records.size() * 96);
+  for (const auto& rec : records) {
+    if (rec.direction != Direction::Query) continue;
+    out += LDP_TRY(record_to_text(rec));
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::vector<TraceRecord>> trace_from_text(std::string_view text) {
+  std::vector<TraceRecord> out;
+  size_t line_no = 0;
+  for (auto line : split(text, '\n')) {
+    ++line_no;
+    auto stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    auto rec = record_from_text(stripped);
+    if (!rec.ok())
+      return Err("line " + std::to_string(line_no) + ": " + rec.error().message);
+    out.push_back(std::move(*rec));
+  }
+  return out;
+}
+
+}  // namespace ldp::trace

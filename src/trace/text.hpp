@@ -1,0 +1,35 @@
+// Plain-text trace format (§2.5 "Plain text for easy manipulation").
+//
+// One query per line, whitespace-separated columns:
+//
+//   time        src_ip  src_port dst_ip dst_port proto id qname qclass qtype flags edns
+//   1461234567.012345 192.168.1.1 5353 192.0.2.53 53 UDP 4660 example.com. IN A rd,do 4096
+//
+// `flags` is a comma list drawn from {qr,aa,tc,rd,ra,ad,cd,do} or "-";
+// `edns` is the EDNS UDP payload size or "-" for no OPT record. The format
+// covers exactly the fields the query mutator edits; converting a record to
+// text and back reproduces the query byte-for-byte at the DNS level except
+// for fields DNS servers ignore in queries (answer sections etc.).
+#pragma once
+
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace ldp::trace {
+
+/// Render one query record as a text line (no trailing newline). Fails on
+/// records whose payload does not parse as a DNS query with one question.
+Result<std::string> record_to_text(const TraceRecord& rec);
+
+/// Parse one text line back into a record (payload rebuilt from fields).
+Result<TraceRecord> record_from_text(std::string_view line);
+
+/// Convert a full trace to text, one line per query; response records are
+/// skipped (replay regenerates responses from zones).
+Result<std::string> trace_to_text(const std::vector<TraceRecord>& records);
+
+/// Parse a text file: one record per non-empty, non-'#' line.
+Result<std::vector<TraceRecord>> trace_from_text(std::string_view text);
+
+}  // namespace ldp::trace

@@ -1,0 +1,74 @@
+#include "util/base64.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace ldp {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int8_t, 256> build_reverse() {
+  std::array<int8_t, 256> rev;
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) rev[static_cast<unsigned char>(kAlphabet[i])] = static_cast<int8_t>(i);
+  return rev;
+}
+const std::array<int8_t, 256> kReverse = build_reverse();
+}  // namespace
+
+std::string base64_encode(std::span<const uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    uint32_t v = static_cast<uint32_t>(data[i]) << 16 |
+                 static_cast<uint32_t>(data[i + 1]) << 8 | data[i + 2];
+    out.push_back(kAlphabet[v >> 18 & 0x3f]);
+    out.push_back(kAlphabet[v >> 12 & 0x3f]);
+    out.push_back(kAlphabet[v >> 6 & 0x3f]);
+    out.push_back(kAlphabet[v & 0x3f]);
+  }
+  size_t rem = data.size() - i;
+  if (rem == 1) {
+    uint32_t v = static_cast<uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[v >> 18 & 0x3f]);
+    out.push_back(kAlphabet[v >> 12 & 0x3f]);
+    out += "==";
+  } else if (rem == 2) {
+    uint32_t v = static_cast<uint32_t>(data[i]) << 16 | static_cast<uint32_t>(data[i + 1]) << 8;
+    out.push_back(kAlphabet[v >> 18 & 0x3f]);
+    out.push_back(kAlphabet[v >> 12 & 0x3f]);
+    out.push_back(kAlphabet[v >> 6 & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> base64_decode(std::string_view text) {
+  std::vector<uint8_t> out;
+  uint32_t acc = 0;
+  int bits = 0;
+  int pad = 0;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      ++pad;
+      continue;
+    }
+    if (pad > 0) return Err("base64 data after padding");
+    int8_t v = kReverse[static_cast<unsigned char>(c)];
+    if (v < 0) return Err("invalid base64 character");
+    acc = acc << 6 | static_cast<uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<uint8_t>(acc >> bits));
+    }
+  }
+  if (pad > 2) return Err("too much base64 padding");
+  return out;
+}
+
+}  // namespace ldp

@@ -1,0 +1,20 @@
+// Base64 (RFC 4648) used by DNSSEC presentation formats (DNSKEY public keys,
+// RRSIG signatures in zone files).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace ldp {
+
+std::string base64_encode(std::span<const uint8_t> data);
+
+/// Whitespace inside the input is ignored (zone files wrap long keys).
+Result<std::vector<uint8_t>> base64_decode(std::string_view text);
+
+}  // namespace ldp

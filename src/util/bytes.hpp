@@ -1,0 +1,168 @@
+// Bounded binary readers/writers used by every wire-format codec in the tree
+// (DNS messages, pcap records, the internal replay stream). All multi-byte
+// integers are big-endian (network order) unless the _le variants are used
+// (pcap headers are little-endian on disk).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace ldp {
+
+/// Sequential, bounds-checked reader over a byte span. Does not own the
+/// buffer; the caller must keep it alive. All read_* methods fail (Result
+/// error) instead of reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  size_t pos() const { return pos_; }
+  size_t size() const { return data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+
+  /// Reposition the cursor (used by DNS name-compression pointer chasing).
+  Result<void> seek(size_t pos) {
+    if (pos > data_.size()) return Err("seek past end");
+    pos_ = pos;
+    return Ok();
+  }
+
+  Result<void> skip(size_t n) {
+    if (n > remaining()) return Err("skip past end");
+    pos_ += n;
+    return Ok();
+  }
+
+  Result<uint8_t> u8() {
+    if (remaining() < 1) return Err("truncated u8");
+    return data_[pos_++];
+  }
+
+  Result<uint16_t> u16() {
+    if (remaining() < 2) return Err("truncated u16");
+    uint16_t v = static_cast<uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  Result<uint32_t> u32() {
+    if (remaining() < 4) return Err("truncated u32");
+    uint32_t v = static_cast<uint32_t>(data_[pos_]) << 24 |
+                 static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
+                 static_cast<uint32_t>(data_[pos_ + 2]) << 8 |
+                 static_cast<uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> u64() {
+    if (remaining() < 8) return Err("truncated u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_ + i];
+    pos_ += 8;
+    return v;
+  }
+
+  Result<uint16_t> u16_le() {
+    if (remaining() < 2) return Err("truncated u16le");
+    uint16_t v = static_cast<uint16_t>(data_[pos_] | data_[pos_ + 1] << 8);
+    pos_ += 2;
+    return v;
+  }
+
+  Result<uint32_t> u32_le() {
+    if (remaining() < 4) return Err("truncated u32le");
+    uint32_t v = static_cast<uint32_t>(data_[pos_]) |
+                 static_cast<uint32_t>(data_[pos_ + 1]) << 8 |
+                 static_cast<uint32_t>(data_[pos_ + 2]) << 16 |
+                 static_cast<uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  /// View of the next n bytes (no copy); advances the cursor.
+  Result<std::span<const uint8_t>> bytes(size_t n) {
+    if (n > remaining()) return Err("truncated bytes");
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Copy of the next n bytes.
+  Result<std::vector<uint8_t>> bytes_copy(size_t n) {
+    auto sp = LDP_TRY(bytes(n));
+    return std::vector<uint8_t>(sp.begin(), sp.end());
+  }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+/// Growable big-endian writer. Writers never fail: memory exhaustion throws
+/// (bad_alloc) like every other allocation in the program.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  size_t size() const { return buf_.size(); }
+  std::span<const uint8_t> data() const { return buf_; }
+  std::vector<uint8_t> take() && { return std::move(buf_); }
+  void clear() { buf_.clear(); }
+
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) {
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+  void u32(uint32_t v) {
+    buf_.push_back(static_cast<uint8_t>(v >> 24));
+    buf_.push_back(static_cast<uint8_t>(v >> 16));
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+  void u64(uint64_t v) {
+    for (int i = 7; i >= 0; --i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void u16_le(uint16_t v) {
+    buf_.push_back(static_cast<uint8_t>(v));
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+  }
+  void u32_le(uint32_t v) {
+    buf_.push_back(static_cast<uint8_t>(v));
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+    buf_.push_back(static_cast<uint8_t>(v >> 16));
+    buf_.push_back(static_cast<uint8_t>(v >> 24));
+  }
+  void bytes(std::span<const uint8_t> b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+  void bytes(std::string_view s) {
+    auto p = reinterpret_cast<const uint8_t*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  /// Overwrite a previously written big-endian u16 at `pos` (length
+  /// back-patching for TCP framing and RDLENGTH fields).
+  void patch_u16(size_t pos, uint16_t v) {
+    buf_[pos] = static_cast<uint8_t>(v >> 8);
+    buf_[pos + 1] = static_cast<uint8_t>(v);
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Hex dump (lowercase, no separators) — used in error messages and tests.
+std::string to_hex(std::span<const uint8_t> data);
+
+/// Inverse of to_hex. Fails on odd length or non-hex characters.
+Result<std::vector<uint8_t>> from_hex(std::string_view hex);
+
+}  // namespace ldp

@@ -1,0 +1,47 @@
+// Time representation shared by the replay scheduler and the discrete-event
+// simulator: plain int64 nanoseconds. A single scalar type (instead of
+// chrono's unit zoo) keeps trace records POD and lets simulated and real
+// timelines share arithmetic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ldp {
+
+/// Nanoseconds since an epoch. Which epoch depends on context: wall clock
+/// for trace timestamps, run start for the replay scheduler, simulation
+/// start for simnet.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kMicro = 1'000;
+inline constexpr TimeNs kMilli = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+
+inline constexpr TimeNs ms_to_ns(int64_t ms) { return ms * kMilli; }
+inline constexpr TimeNs us_to_ns(int64_t us) { return us * kMicro; }
+inline constexpr TimeNs sec_to_ns(double sec) {
+  return static_cast<TimeNs>(sec * static_cast<double>(kSecond));
+}
+inline constexpr double ns_to_sec(TimeNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kSecond);
+}
+inline constexpr double ns_to_ms(TimeNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kMilli);
+}
+
+/// Monotonic now() in nanoseconds — the real-time replay clock.
+inline TimeNs mono_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall-clock now() in nanoseconds since the Unix epoch — trace timestamps.
+inline TimeNs wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace ldp

@@ -1,0 +1,132 @@
+#include "util/ip.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace ldp {
+
+std::string Ip4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", addr_ >> 24 & 0xff,
+                addr_ >> 16 & 0xff, addr_ >> 8 & 0xff, addr_ & 0xff);
+  return buf;
+}
+
+Result<Ip4> Ip4::parse(std::string_view text) {
+  auto parts = split(text, '.');
+  if (parts.size() != 4) return Err("invalid IPv4: " + std::string(text));
+  uint32_t v = 0;
+  for (auto part : parts) {
+    uint64_t octet = LDP_TRY(parse_u64(part));
+    if (octet > 255) return Err("IPv4 octet out of range: " + std::string(text));
+    v = v << 8 | static_cast<uint32_t>(octet);
+  }
+  return Ip4{v};
+}
+
+std::string Ip6::to_string() const {
+  // RFC 5952 canonical form: compress the longest run of zero groups.
+  uint16_t groups[8];
+  for (int i = 0; i < 8; ++i)
+    groups[i] = static_cast<uint16_t>(bytes_[2 * i] << 8 | bytes_[2 * i + 1]);
+
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;  // single zero group is not compressed
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+Result<Ip6> Ip6::parse(std::string_view text) {
+  // Split on "::" first; each side is a list of hex groups.
+  std::array<uint8_t, 16> bytes{};
+  auto parse_groups = [](std::string_view s) -> Result<std::vector<uint16_t>> {
+    std::vector<uint16_t> groups;
+    if (s.empty()) return groups;
+    for (auto part : split(s, ':')) {
+      if (part.empty() || part.size() > 4)
+        return Err("invalid IPv6 group: " + std::string(s));
+      uint32_t v = 0;
+      for (char c : part) {
+        int nib;
+        if (c >= '0' && c <= '9') nib = c - '0';
+        else if (c >= 'a' && c <= 'f') nib = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') nib = c - 'A' + 10;
+        else return Err("invalid IPv6 character: " + std::string(s));
+        v = v << 4 | static_cast<uint32_t>(nib);
+      }
+      groups.push_back(static_cast<uint16_t>(v));
+    }
+    return groups;
+  };
+
+  size_t dc = text.find("::");
+  std::vector<uint16_t> head, tail;
+  if (dc == std::string_view::npos) {
+    head = LDP_TRY(parse_groups(text));
+    if (head.size() != 8) return Err("invalid IPv6: " + std::string(text));
+  } else {
+    if (text.find("::", dc + 1) != std::string_view::npos)
+      return Err("multiple :: in IPv6: " + std::string(text));
+    head = LDP_TRY(parse_groups(text.substr(0, dc)));
+    tail = LDP_TRY(parse_groups(text.substr(dc + 2)));
+    if (head.size() + tail.size() > 7) return Err("IPv6 too long: " + std::string(text));
+  }
+
+  size_t idx = 0;
+  for (uint16_t g : head) {
+    bytes[idx++] = static_cast<uint8_t>(g >> 8);
+    bytes[idx++] = static_cast<uint8_t>(g);
+  }
+  size_t tail_start = 16 - tail.size() * 2;
+  idx = tail_start;
+  for (uint16_t g : tail) {
+    bytes[idx++] = static_cast<uint8_t>(g >> 8);
+    bytes[idx++] = static_cast<uint8_t>(g);
+  }
+  return Ip6{bytes};
+}
+
+Result<IpAddr> IpAddr::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) {
+    auto v6 = Ip6::parse(text);
+    if (!v6.ok()) return Err(v6.error().message);
+    return IpAddr{*v6};
+  }
+  auto v4 = Ip4::parse(text);
+  if (!v4.ok()) return Err(v4.error().message);
+  return IpAddr{*v4};
+}
+
+std::string Endpoint::to_string() const {
+  if (addr.is_v6()) return "[" + addr.to_string() + "]:" + std::to_string(port);
+  return addr.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace ldp

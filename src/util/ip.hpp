@@ -1,0 +1,116 @@
+// IPv4/IPv6 address and endpoint value types shared by the trace formats,
+// proxies, the socket layer, and the simulator. Self-contained (no
+// sockaddr dependency) so the simulator and pcap codec can use them without
+// touching OS headers.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace ldp {
+
+/// IPv4 address stored in host byte order for cheap arithmetic; to_wire
+/// converts to network order.
+class Ip4 {
+ public:
+  constexpr Ip4() = default;
+  constexpr explicit Ip4(uint32_t host_order) : addr_(host_order) {}
+  constexpr Ip4(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : addr_(static_cast<uint32_t>(a) << 24 | static_cast<uint32_t>(b) << 16 |
+              static_cast<uint32_t>(c) << 8 | d) {}
+
+  constexpr uint32_t value() const { return addr_; }
+  std::string to_string() const;
+  static Result<Ip4> parse(std::string_view text);
+
+  auto operator<=>(const Ip4&) const = default;
+
+ private:
+  uint32_t addr_ = 0;
+};
+
+/// IPv6 address, 16 bytes network order.
+class Ip6 {
+ public:
+  constexpr Ip6() = default;
+  explicit Ip6(const std::array<uint8_t, 16>& bytes) : bytes_(bytes) {}
+
+  const std::array<uint8_t, 16>& bytes() const { return bytes_; }
+  std::string to_string() const;
+  static Result<Ip6> parse(std::string_view text);
+
+  auto operator<=>(const Ip6&) const = default;
+
+ private:
+  std::array<uint8_t, 16> bytes_{};
+};
+
+/// Generic address: v4 or v6. DNS traces mix both; the simulator and
+/// proxies treat addresses opaquely.
+class IpAddr {
+ public:
+  IpAddr() : v4_(Ip4{}), is_v6_(false) {}
+  IpAddr(Ip4 a) : v4_(a), is_v6_(false) {}
+  IpAddr(Ip6 a) : v6_(a), is_v6_(true) {}
+
+  bool is_v4() const { return !is_v6_; }
+  bool is_v6() const { return is_v6_; }
+  Ip4 v4() const { return v4_; }
+  const Ip6& v6() const { return v6_; }
+
+  std::string to_string() const { return is_v6_ ? v6_.to_string() : v4_.to_string(); }
+  static Result<IpAddr> parse(std::string_view text);
+
+  bool operator==(const IpAddr& o) const {
+    if (is_v6_ != o.is_v6_) return false;
+    return is_v6_ ? v6_ == o.v6_ : v4_ == o.v4_;
+  }
+  bool operator<(const IpAddr& o) const {
+    if (is_v6_ != o.is_v6_) return is_v6_ < o.is_v6_;
+    return is_v6_ ? v6_ < o.v6_ : v4_ < o.v4_;
+  }
+
+  size_t hash() const {
+    if (!is_v6_) return std::hash<uint32_t>{}(v4_.value());
+    size_t h = 1469598103934665603ull;
+    for (uint8_t b : v6_.bytes()) h = (h ^ b) * 1099511628211ull;
+    return h;
+  }
+
+ private:
+  // Not a variant: the union keeps IpAddr trivially copyable and 17 bytes,
+  // which matters for trace records held by the hundred million.
+  union {
+    Ip4 v4_;
+    Ip6 v6_;
+  };
+  bool is_v6_;
+};
+
+/// Address:port pair.
+struct Endpoint {
+  IpAddr addr;
+  uint16_t port = 0;
+
+  std::string to_string() const;
+  bool operator==(const Endpoint& o) const { return addr == o.addr && port == o.port; }
+  bool operator<(const Endpoint& o) const {
+    if (!(addr == o.addr)) return addr < o.addr;
+    return port < o.port;
+  }
+};
+
+struct IpAddrHash {
+  size_t operator()(const IpAddr& a) const { return a.hash(); }
+};
+struct EndpointHash {
+  size_t operator()(const Endpoint& e) const { return e.addr.hash() * 31 + e.port; }
+};
+
+}  // namespace ldp

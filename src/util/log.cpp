@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace ldp {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component, std::string_view msg) {
+  using namespace std::chrono;
+  auto now = duration_cast<microseconds>(system_clock::now().time_since_epoch());
+  std::lock_guard lock(g_emit_mutex);
+  std::fprintf(stderr, "%lld.%06lld %-5s [%.*s] %.*s\n",
+               static_cast<long long>(now.count() / 1000000),
+               static_cast<long long>(now.count() % 1000000), level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+}  // namespace detail
+
+}  // namespace ldp

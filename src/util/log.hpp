@@ -1,0 +1,36 @@
+// Minimal leveled logger. Benchmark binaries set the level to Warn so that
+// hot replay paths stay quiet; tests may raise it to Debug for diagnosis.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace ldp {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component, std::string_view msg);
+}
+
+/// Streaming log statement that formats lazily: the ostringstream is only
+/// constructed when the level is enabled.
+#define LDP_LOG(level, component, expr)                               \
+  do {                                                                \
+    if (static_cast<int>(level) >= static_cast<int>(::ldp::log_level())) { \
+      std::ostringstream ldp_log_os_;                                 \
+      ldp_log_os_ << expr;                                            \
+      ::ldp::detail::log_emit(level, component, ldp_log_os_.str());   \
+    }                                                                 \
+  } while (0)
+
+#define LDP_DEBUG(component, expr) LDP_LOG(::ldp::LogLevel::Debug, component, expr)
+#define LDP_INFO(component, expr) LDP_LOG(::ldp::LogLevel::Info, component, expr)
+#define LDP_WARN(component, expr) LDP_LOG(::ldp::LogLevel::Warn, component, expr)
+#define LDP_ERROR(component, expr) LDP_LOG(::ldp::LogLevel::Error, component, expr)
+
+}  // namespace ldp

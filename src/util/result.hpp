@@ -1,0 +1,115 @@
+// Result<T>: a lightweight expected-style type for data-plane errors.
+//
+// LDplayer parses untrusted wire data (DNS messages, pcap records, trace
+// streams) at high rates; malformed input is an expected outcome there, not
+// an exceptional one, so parsers return Result<T> instead of throwing.
+// Exceptions remain reserved for construction/configuration errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ldp {
+
+/// Error payload carried by a failed Result. A short machine-friendly code
+/// plus a human-readable message describing what went wrong.
+struct Error {
+  std::string message;
+
+  explicit Error(std::string msg) : message(std::move(msg)) {}
+};
+
+/// Construct a failed-Result payload in one call: `return Err("truncated")`.
+inline Error Err(std::string msg) { return Error{std::move(msg)}; }
+
+/// Result<T> holds either a value of T or an Error. Modeled on
+/// std::expected (C++23) but self-contained for C++20.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from both alternatives keeps call sites terse:
+  // `return value;` or `return Err("...")`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Error error) : data_(std::move(error)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Access the value. Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Access the error. Precondition: !ok().
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Value if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void>: success carries no value.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : error_(std::nullopt) {}
+  Result(Error error) : error_(std::move(error)) {}
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Success value for Result<void>.
+inline Result<void> Ok() { return Result<void>{}; }
+
+// Propagate an error from a subordinate Result expression. Usage:
+//   auto name = TRY(Name::parse(rd));
+// Requires the enclosing function to itself return a Result<...>.
+#define LDP_TRY(expr)                              \
+  ({                                               \
+    auto ldp_try_tmp_ = (expr);                    \
+    if (!ldp_try_tmp_.ok())                        \
+      return ::ldp::Error{ldp_try_tmp_.error()};   \
+    std::move(ldp_try_tmp_).value();               \
+  })
+
+#define LDP_TRY_VOID(expr)                         \
+  do {                                             \
+    auto ldp_try_tmp_ = (expr);                    \
+    if (!ldp_try_tmp_.ok())                        \
+      return ::ldp::Error{ldp_try_tmp_.error()};   \
+  } while (0)
+
+}  // namespace ldp

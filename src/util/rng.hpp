@@ -1,0 +1,85 @@
+// Deterministic random sources for workload synthesis. All generators are
+// seeded explicitly so every experiment is reproducible (a core LDplayer
+// requirement, §2.1 "Repeatability of experiments").
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ldp {
+
+/// Thin wrapper around mt19937_64 with convenience draws. Not thread-safe;
+/// give each worker its own instance.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  uint64_t next_u64() { return engine_(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t uniform(uint64_t lo, uint64_t hi) {
+    return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Exponential with the given mean (Poisson arrival gaps).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Log-normal parameterized by the *target* mean/stdev of the resulting
+  /// distribution (not of the underlying normal), matching how Table 1
+  /// reports trace inter-arrival statistics.
+  double lognormal_mean_sd(double mean, double sd) {
+    double sigma2 = std::log(1.0 + (sd * sd) / (mean * mean));
+    double mu = std::log(mean) - sigma2 / 2.0;
+    return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(engine_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf(s) sampler over ranks 1..n via precomputed inverse CDF. DNS client
+/// populations are strongly Zipf-like: the paper observes 1% of clients
+/// sending three quarters of root traffic (§5.2.4, Figure 15c).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Draw a rank in [0, n).
+  size_t sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+inline ZipfSampler::ZipfSampler(size_t n, double s) {
+  cdf_.resize(n);
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+}
+
+inline size_t ZipfSampler::sample(Rng& rng) const {
+  double u = rng.uniform01();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace ldp

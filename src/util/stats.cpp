@@ -1,0 +1,82 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ldp {
+
+void Sampler::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Sampler::quantile(double q) const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  if (q <= 0) return samples_.front();
+  if (q >= 1) return samples_.back();
+  double rank = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1 - frac) + samples_[lo + 1] * frac;
+}
+
+Summary Sampler::summary() const {
+  Summary s;
+  s.count = samples_.size();
+  if (samples_.empty()) return s;
+  ensure_sorted();
+  s.min = samples_.front();
+  s.max = samples_.back();
+  s.p5 = quantile(0.05);
+  s.q1 = quantile(0.25);
+  s.median = quantile(0.5);
+  s.q3 = quantile(0.75);
+  s.p95 = quantile(0.95);
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  s.mean = sum / static_cast<double>(samples_.size());
+  double var = 0;
+  for (double v : samples_) var += (v - s.mean) * (v - s.mean);
+  s.stdev = samples_.size() > 1
+                ? std::sqrt(var / static_cast<double>(samples_.size() - 1))
+                : 0;
+  return s;
+}
+
+std::vector<std::pair<double, double>> Sampler::cdf(size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty()) return out;
+  ensure_sorted();
+  size_t n = samples_.size();
+  size_t step = std::max<size_t>(1, n / points);
+  out.reserve(n / step + 2);
+  for (size_t i = 0; i < n; i += step) {
+    out.emplace_back(samples_[i], static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.back().second < 1.0) out.emplace_back(samples_.back(), 1.0);
+  return out;
+}
+
+std::vector<uint64_t> RateCounter::series() const {
+  std::vector<uint64_t> out;
+  if (buckets_.empty()) return out;
+  int64_t first = buckets_.begin()->first;
+  int64_t last = buckets_.rbegin()->first;
+  out.assign(static_cast<size_t>(last - first + 1), 0);
+  for (auto [win, n] : buckets_) out[static_cast<size_t>(win - first)] = n;
+  return out;
+}
+
+std::string format_summary(const Summary& s, const char* unit) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.3f [%.3f, %.3f] (%.3f, %.3f) %s",
+                s.median, s.q1, s.q3, s.p5, s.p95, unit);
+  return buf;
+}
+
+}  // namespace ldp

@@ -1,0 +1,71 @@
+// Statistics helpers used by the benchmark harnesses: exact quantiles over
+// collected samples, the five-number summaries the paper plots (median,
+// quartiles, 5th/95th percentiles), CDF extraction, and per-window rate
+// counters (Figure 8 compares per-second query rates).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ldp {
+
+/// Five-number summary matching the paper's box plots: median, quartiles,
+/// and 5th/95th percentiles, plus min/max/mean for the text.
+struct Summary {
+  double min = 0, p5 = 0, q1 = 0, median = 0, q3 = 0, p95 = 0, max = 0;
+  double mean = 0, stdev = 0;
+  size_t count = 0;
+};
+
+/// Accumulates double samples and answers quantile queries exactly (sorts a
+/// copy on demand). Fine for bench-scale sample counts (millions).
+class Sampler {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  void add_all(const std::vector<double>& vs) {
+    samples_.insert(samples_.end(), vs.begin(), vs.end());
+  }
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Quantile by linear interpolation between order statistics; q in [0,1].
+  double quantile(double q) const;
+  Summary summary() const;
+
+  /// (value, cumulative fraction) pairs suitable for plotting a CDF;
+  /// `points` caps the output size by downsampling evenly in rank space.
+  std::vector<std::pair<double, double>> cdf(size_t points = 200) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Counts events into fixed-width time windows (e.g. 1-second buckets) so a
+/// replayed trace's per-second rate can be compared to the original's.
+class RateCounter {
+ public:
+  explicit RateCounter(int64_t window_ns) : window_ns_(window_ns) {}
+
+  void add(int64_t t_ns) { ++buckets_[t_ns / window_ns_]; }
+
+  /// Events per window, indexed by window number (gaps count as zero between
+  /// the first and last occupied windows).
+  std::vector<uint64_t> series() const;
+
+  int64_t window_ns() const { return window_ns_; }
+
+ private:
+  int64_t window_ns_;
+  std::map<int64_t, uint64_t> buckets_;
+};
+
+/// Render a Summary as the "median [q1,q3] (p5,p95)" string used in bench
+/// output tables.
+std::string format_summary(const Summary& s, const char* unit);
+
+}  // namespace ldp

@@ -1,0 +1,31 @@
+// Transport protocols LDplayer replays over (§2.1 "Support multiple
+// protocols effectively"). Shared by trace records, the query engine, the
+// socket layer and the simulator.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace ldp {
+
+enum class Transport : uint8_t { Udp = 0, Tcp = 1, Tls = 2 };
+
+inline const char* transport_name(Transport t) {
+  switch (t) {
+    case Transport::Udp: return "UDP";
+    case Transport::Tcp: return "TCP";
+    case Transport::Tls: return "TLS";
+  }
+  return "?";
+}
+
+inline Result<Transport> transport_from_string(std::string_view s) {
+  if (s == "UDP" || s == "udp") return Transport::Udp;
+  if (s == "TCP" || s == "tcp") return Transport::Tcp;
+  if (s == "TLS" || s == "tls") return Transport::Tls;
+  return Err("unknown transport: " + std::string(s));
+}
+
+}  // namespace ldp

@@ -1,0 +1,333 @@
+#include "zone/parser.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace ldp::zone {
+
+using dns::RRClass;
+
+namespace {
+
+// A token plus whether it was quoted (quoted tokens are always RDATA
+// strings, never TTLs/classes/types).
+struct Token {
+  std::string text;
+  bool quoted = false;
+};
+
+// Tokenize one logical record. Handles quotes, '(' ')' grouping (the caller
+// feeds us lines until parens balance), and ';' comments.
+class Tokenizer {
+ public:
+  // Returns tokens for the next logical record (spanning lines if inside
+  // parens). `line_no` tracks position for error messages.
+  static Result<std::vector<Token>> record(std::string_view& rest, size_t& line_no,
+                                           bool& leading_ws) {
+    std::vector<Token> tokens;
+    int depth = 0;
+    bool first_line = true;
+    while (true) {
+      if (rest.empty()) {
+        if (depth > 0) return Err("unbalanced parentheses at EOF");
+        return tokens;
+      }
+      size_t eol = rest.find('\n');
+      std::string_view line = rest.substr(0, eol);
+      rest = (eol == std::string_view::npos) ? std::string_view{} : rest.substr(eol + 1);
+      ++line_no;
+
+      if (first_line) {
+        leading_ws = !line.empty() && std::isspace(static_cast<unsigned char>(line[0]));
+      }
+
+      LDP_TRY_VOID(tokenize_line(line, tokens, depth, line_no));
+
+      if (depth == 0) {
+        if (tokens.empty() && !rest.empty()) {
+          first_line = true;  // blank/comment-only line; keep scanning
+          continue;
+        }
+        return tokens;
+      }
+      first_line = false;
+    }
+  }
+
+ private:
+  static Result<void> tokenize_line(std::string_view line, std::vector<Token>& tokens,
+                                    int& depth, size_t line_no) {
+    size_t i = 0;
+    auto err = [line_no](const std::string& what) {
+      return Err("line " + std::to_string(line_no) + ": " + what);
+    };
+    while (i < line.size()) {
+      char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == ';') return Ok();  // comment to end of line
+      if (c == '(') {
+        ++depth;
+        ++i;
+        continue;
+      }
+      if (c == ')') {
+        if (depth == 0) return err("unbalanced ')'");
+        --depth;
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        std::string tok;
+        ++i;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            tok.push_back('\\');
+            tok.push_back(line[i + 1]);
+            i += 2;
+          } else {
+            tok.push_back(line[i]);
+            ++i;
+          }
+        }
+        if (i >= line.size()) return err("unterminated quoted string");
+        ++i;  // closing quote
+        tokens.push_back(Token{std::move(tok), true});
+        continue;
+      }
+      size_t start = i;
+      while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])) &&
+             line[i] != ';' && line[i] != '(' && line[i] != ')')
+        ++i;
+      tokens.push_back(Token{std::string(line.substr(start, i - start)), false});
+    }
+    return Ok();
+  }
+};
+
+// Name resolution: "@" = origin; names without trailing dot are relative.
+Result<Name> resolve_name(const std::string& text, const std::optional<Name>& origin,
+                          size_t line_no) {
+  auto err_prefix = "line " + std::to_string(line_no) + ": ";
+  if (text == "@") {
+    if (!origin.has_value()) return Err(err_prefix + "'@' with no origin");
+    return *origin;
+  }
+  auto name = dns::Name::parse(text);
+  if (!name.ok()) return Err(err_prefix + name.error().message);
+  if (!text.empty() && text.back() == '.') return *name;  // absolute
+  if (!origin.has_value()) return Err(err_prefix + "relative name with no origin");
+  // Relative: append origin labels.
+  Name out = *name;
+  for (size_t i = 0; i < origin->label_count(); ++i) {
+    auto r = out.append_label(origin->label(i));
+    if (!r.ok()) return Err(err_prefix + r.error().message);
+  }
+  return out;
+}
+
+bool looks_like_ttl(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+struct ParserState {
+  std::optional<Name> origin;
+  std::optional<Name> last_owner;
+  std::optional<uint32_t> default_ttl;
+  uint32_t fallback_ttl;
+};
+
+Result<std::optional<ResourceRecord>> parse_one(const std::vector<Token>& tokens,
+                                                bool leading_ws, ParserState& state,
+                                                size_t line_no) {
+  auto err = [line_no](const std::string& what) {
+    return Err("line " + std::to_string(line_no) + ": " + what);
+  };
+
+  // Directives.
+  if (!tokens.empty() && !tokens[0].quoted && tokens[0].text.size() > 1 &&
+      tokens[0].text[0] == '$') {
+    if (iequals(tokens[0].text, "$ORIGIN")) {
+      if (tokens.size() != 2) return err("$ORIGIN takes one name");
+      auto name = dns::Name::parse(tokens[1].text);
+      if (!name.ok()) return err(name.error().message);
+      state.origin = *name;
+      return std::optional<ResourceRecord>{};
+    }
+    if (iequals(tokens[0].text, "$TTL")) {
+      if (tokens.size() != 2) return err("$TTL takes one value");
+      auto ttl = parse_u64(tokens[1].text);
+      if (!ttl.ok() || *ttl > 0xffffffff) return err("bad $TTL value");
+      state.default_ttl = static_cast<uint32_t>(*ttl);
+      return std::optional<ResourceRecord>{};
+    }
+    return err("unsupported directive " + tokens[0].text);
+  }
+
+  size_t i = 0;
+  ResourceRecord rr;
+
+  // Owner: either inherited (record started with whitespace) or the first
+  // token.
+  if (leading_ws) {
+    if (!state.last_owner.has_value()) return err("no previous owner to inherit");
+    rr.name = *state.last_owner;
+  } else {
+    if (tokens.empty()) return err("empty record");
+    rr.name = LDP_TRY(resolve_name(tokens[i].text, state.origin, line_no));
+    ++i;
+  }
+
+  // [TTL] [class] or [class] [TTL], then type.
+  rr.ttl = state.default_ttl.value_or(state.fallback_ttl);
+  bool saw_ttl = false, saw_class = false;
+  while (i < tokens.size() && !tokens[i].quoted) {
+    const std::string& t = tokens[i].text;
+    if (!saw_ttl && looks_like_ttl(t)) {
+      auto ttl = parse_u64(t);
+      if (!ttl.ok() || *ttl > 0xffffffff) return err("bad TTL " + t);
+      rr.ttl = static_cast<uint32_t>(*ttl);
+      saw_ttl = true;
+      ++i;
+      continue;
+    }
+    if (!saw_class) {
+      auto cls = dns::rrclass_from_string(t);
+      if (cls.ok()) {
+        rr.rrclass = *cls;
+        saw_class = true;
+        ++i;
+        continue;
+      }
+    }
+    break;
+  }
+
+  if (i >= tokens.size()) return err("record missing type");
+  auto type = dns::rrtype_from_string(tokens[i].text);
+  if (!type.ok()) return err(type.error().message);
+  rr.type = *type;
+  ++i;
+
+  // RDATA: resolve relative names inside name-bearing types by making
+  // tokens absolute before handing to the generic parser.
+  std::vector<std::string> storage;
+  std::vector<std::string_view> rdata_tokens;
+  storage.reserve(tokens.size() - i);
+  auto absolutize = [&](size_t tok_index) -> Result<void> {
+    Name n = LDP_TRY(resolve_name(tokens[tok_index].text, state.origin, line_no));
+    storage.push_back(n.to_string());
+    return Ok();
+  };
+
+  using dns::RRType;
+  for (size_t j = i; j < tokens.size(); ++j) {
+    bool is_name_field = false;
+    size_t field = j - i;
+    switch (rr.type) {
+      case RRType::NS:
+      case RRType::CNAME:
+      case RRType::PTR:
+        is_name_field = field == 0;
+        break;
+      case RRType::SOA:
+        is_name_field = field <= 1;
+        break;
+      case RRType::MX:
+        is_name_field = field == 1;
+        break;
+      case RRType::SRV:
+        is_name_field = field == 3;
+        break;
+      case RRType::RRSIG:
+        is_name_field = field == 7;
+        break;
+      case RRType::NSEC:
+        is_name_field = field == 0;
+        break;
+      default:
+        break;
+    }
+    if (is_name_field && !tokens[j].quoted) {
+      LDP_TRY_VOID(absolutize(j));
+    } else {
+      storage.push_back(tokens[j].text);
+    }
+  }
+  for (const auto& s : storage) rdata_tokens.push_back(s);
+
+  auto rdata = dns::Rdata::parse(rr.type, rdata_tokens);
+  if (!rdata.ok()) return err(rdata.error().message);
+  rr.rdata = std::move(*rdata);
+
+  state.last_owner = rr.name;
+  return std::optional<ResourceRecord>{std::move(rr)};
+}
+
+Result<std::vector<ResourceRecord>> parse_all(std::string_view text,
+                                              const ParseOptions& options) {
+  ParserState state;
+  state.origin = options.origin;
+  state.fallback_ttl = options.default_ttl;
+
+  std::vector<ResourceRecord> records;
+  std::string_view rest = text;
+  size_t line_no = 0;
+  while (!rest.empty()) {
+    bool leading_ws = false;
+    auto tokens = LDP_TRY(Tokenizer::record(rest, line_no, leading_ws));
+    if (tokens.empty()) continue;
+    auto rr = LDP_TRY(parse_one(tokens, leading_ws, state, line_no));
+    if (rr.has_value()) records.push_back(std::move(*rr));
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<std::vector<ResourceRecord>> parse_records(std::string_view text,
+                                                  const ParseOptions& options) {
+  return parse_all(text, options);
+}
+
+Result<Zone> parse_zone(std::string_view text, const ParseOptions& options) {
+  auto records = LDP_TRY(parse_all(text, options));
+  if (records.empty()) return Err("zone file has no records");
+
+  // Zone origin: explicit option, else the owner of the SOA record.
+  Name origin;
+  if (options.origin.has_value()) {
+    origin = *options.origin;
+  } else {
+    bool found = false;
+    for (const auto& rr : records) {
+      if (rr.type == dns::RRType::SOA) {
+        origin = rr.name;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Err("zone file has no SOA and no explicit origin");
+  }
+
+  Zone zone(origin);
+  for (const auto& rr : records) LDP_TRY_VOID(zone.add(rr));
+  return zone;
+}
+
+std::string print_zone(const Zone& zone) {
+  std::string out;
+  out += "$ORIGIN " + zone.origin().to_string() + "\n";
+  for (const RRset* set : zone.all_rrsets()) {
+    for (const auto& rr : set->to_records()) out += rr.to_string() + "\n";
+  }
+  return out;
+}
+
+}  // namespace ldp::zone

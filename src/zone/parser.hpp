@@ -1,0 +1,37 @@
+// RFC 1035 §5 master-file parser and printer. Supports the constructs real
+// zone files use: $ORIGIN / $TTL directives, "@" for the origin, relative
+// names, owner inheritance from the previous record, optional TTL/class in
+// either order, parenthesized multi-line records, quoted strings, and
+// ';' comments.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "zone/zone.hpp"
+
+namespace ldp::zone {
+
+struct ParseOptions {
+  /// Starting $ORIGIN; required if the file's names are relative and the
+  /// file itself has no $ORIGIN directive.
+  std::optional<Name> origin;
+  /// Default TTL when neither a record TTL nor $TTL is given.
+  uint32_t default_ttl = 3600;
+};
+
+/// Parse master-file text into a Zone rooted at the first SOA's owner (or
+/// `options.origin` if given). Fails with a line-numbered message on the
+/// first malformed record.
+Result<Zone> parse_zone(std::string_view text, const ParseOptions& options = {});
+
+/// Parse master-file text into loose records (used by the zone constructor,
+/// where data for several zones is interleaved in one intermediate file).
+Result<std::vector<ResourceRecord>> parse_records(std::string_view text,
+                                                  const ParseOptions& options = {});
+
+/// Render a zone as master-file text that parse_zone() accepts (round-trip
+/// safe; all names absolute).
+std::string print_zone(const Zone& zone);
+
+}  // namespace ldp::zone

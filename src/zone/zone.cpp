@@ -1,0 +1,215 @@
+#include "zone/zone.hpp"
+
+namespace ldp::zone {
+
+using dns::NameData;
+using dns::Rdata;
+
+Result<void> Zone::add(const ResourceRecord& rr) {
+  if (!rr.name.is_subdomain_of(origin_))
+    return Err("record " + rr.name.to_string() + " outside zone " + origin_.to_string());
+
+  // Materialize empty non-terminals on the path from the origin.
+  for (size_t k = origin_.label_count(); k < rr.name.label_count(); ++k) {
+    nodes_.try_emplace(rr.name.suffix(k));
+  }
+
+  auto& node = nodes_[rr.name];
+  auto [it, inserted] = node.try_emplace(rr.type);
+  if (inserted) {
+    it->second.name = rr.name;
+    it->second.type = rr.type;
+    it->second.rrclass = rr.rrclass;
+  }
+  it->second.add(rr);
+  return Ok();
+}
+
+const Zone::Node* Zone::find_node(const Name& name) const {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const RRset* Zone::find(const Name& name, RRType type) const {
+  const Node* node = find_node(name);
+  if (node == nullptr) return nullptr;
+  auto it = node->find(type);
+  return it == node->end() ? nullptr : &it->second;
+}
+
+void Zone::collect_glue(const RRset& ns_set, LookupResult& out) const {
+  for (const auto& rd : ns_set.rdatas) {
+    const auto* nd = rd.get_if<NameData>();
+    if (nd == nullptr) continue;
+    for (RRType t : {RRType::A, RRType::AAAA}) {
+      if (const RRset* glue = find(nd->name, t)) out.additionals.push_back(*glue);
+    }
+  }
+}
+
+LookupResult Zone::lookup(const Name& qname, RRType qtype) const {
+  LookupResult out;
+  if (!qname.is_subdomain_of(origin_)) {
+    out.status = LookupStatus::NxDomain;  // out-of-zone; caller should route
+    return out;
+  }
+
+  auto add_negative_soa = [&] {
+    if (const RRset* s = soa()) out.authorities.push_back(*s);
+  };
+
+  // Walk from just below the apex toward qname looking for a zone cut. A
+  // node with NS that is not the apex delegates everything at or below it
+  // (DS is answered from the parent side, so it does not follow the cut).
+  for (size_t k = origin_.label_count() + 1; k <= qname.label_count(); ++k) {
+    Name ancestor = qname.suffix(k);
+    const RRset* ns = find(ancestor, RRType::NS);
+    if (ns != nullptr && !(k == qname.label_count() && qtype == RRType::DS)) {
+      out.status = LookupStatus::Delegation;
+      out.authorities.push_back(*ns);
+      collect_glue(*ns, out);
+      return out;
+    }
+  }
+
+  const Node* node = find_node(qname);
+  if (node != nullptr) {
+    // CNAME takes precedence unless the query is for CNAME itself.
+    if (qtype != RRType::CNAME && qtype != RRType::ANY) {
+      auto cn = node->find(RRType::CNAME);
+      if (cn != node->end()) {
+        out.status = LookupStatus::Cname;
+        out.answers.push_back(cn->second);
+        return out;
+      }
+    }
+    if (qtype == RRType::ANY) {
+      for (const auto& [t, set] : *node) out.answers.push_back(set);
+      if (!out.answers.empty()) {
+        out.status = LookupStatus::Answer;
+        return out;
+      }
+    } else if (auto it = node->find(qtype); it != node->end()) {
+      out.status = LookupStatus::Answer;
+      out.answers.push_back(it->second);
+      return out;
+    }
+    out.status = LookupStatus::NoData;
+    add_negative_soa();
+    return out;
+  }
+
+  // Name does not exist: wildcard search at the closest encloser
+  // (RFC 4592). Find the longest existing ancestor, then look for a "*"
+  // child of it.
+  if (qname.label_count() <= origin_.label_count()) {
+    // qname == origin with an empty zone; nothing to synthesize.
+    out.status = LookupStatus::NxDomain;
+    add_negative_soa();
+    return out;
+  }
+  size_t encloser_labels = origin_.label_count();
+  for (size_t k = qname.label_count() - 1; k > origin_.label_count(); --k) {
+    if (nodes_.contains(qname.suffix(k))) {
+      encloser_labels = k;
+      break;
+    }
+  }
+  Name encloser = qname.suffix(encloser_labels);
+  auto wildcard = encloser.with_prefix_label("*");
+  if (wildcard.ok()) {
+    if (const Node* wnode = find_node(*wildcard)) {
+      // A wildcard NS set synthesizes a delegation for the matched child
+      // (BIND behaviour; used to delegate entire namespaces, e.g. every
+      // SLD of an emulated TLD to one server). The delegation point is the
+      // label directly below the closest encloser.
+      if (auto ns = wnode->find(RRType::NS);
+          ns != wnode->end() && qtype != RRType::DS) {
+        RRset synthesized = ns->second;
+        synthesized.name = qname.suffix(encloser_labels + 1);
+        out.status = LookupStatus::Delegation;
+        collect_glue(synthesized, out);
+        out.authorities.push_back(std::move(synthesized));
+        return out;
+      }
+      if (qtype != RRType::CNAME) {
+        if (auto cn = wnode->find(RRType::CNAME); cn != wnode->end()) {
+          RRset synthesized = cn->second;
+          synthesized.name = qname;
+          out.status = LookupStatus::Cname;
+          out.answers.push_back(std::move(synthesized));
+          return out;
+        }
+      }
+      if (auto it = wnode->find(qtype); it != wnode->end()) {
+        RRset synthesized = it->second;
+        synthesized.name = qname;  // wildcard substitution
+        out.status = LookupStatus::Answer;
+        out.answers.push_back(std::move(synthesized));
+        return out;
+      }
+      out.status = LookupStatus::NoData;
+      add_negative_soa();
+      return out;
+    }
+  }
+
+  out.status = LookupStatus::NxDomain;
+  add_negative_soa();
+  return out;
+}
+
+std::vector<const RRset*> Zone::all_rrsets() const {
+  std::vector<const RRset*> out;
+  // SOA first, then apex NS, then the rest in canonical order.
+  if (const RRset* s = soa()) out.push_back(s);
+  if (const RRset* ns = find(origin_, RRType::NS)) out.push_back(ns);
+  for (const auto& [name, node] : nodes_) {
+    for (const auto& [type, set] : node) {
+      if (name == origin_ && (type == RRType::SOA || type == RRType::NS)) continue;
+      out.push_back(&set);
+    }
+  }
+  return out;
+}
+
+size_t Zone::rrset_count() const {
+  size_t n = 0;
+  for (const auto& [name, node] : nodes_) n += node.size();
+  return n;
+}
+
+size_t Zone::record_count() const {
+  size_t n = 0;
+  for (const auto& [name, node] : nodes_) {
+    for (const auto& [type, set] : node) n += set.size();
+  }
+  return n;
+}
+
+Result<void> Zone::validate() const {
+  const RRset* s = soa();
+  if (s == nullptr) return Err("zone " + origin_.to_string() + " has no SOA");
+  if (s->size() != 1) return Err("zone " + origin_.to_string() + " has multiple SOA records");
+  if (find(origin_, RRType::NS) == nullptr)
+    return Err("zone " + origin_.to_string() + " has no apex NS");
+
+  // Delegations whose nameservers are inside the delegated space need glue.
+  for (const auto& [name, node] : nodes_) {
+    if (name == origin_) continue;
+    auto ns = node.find(RRType::NS);
+    if (ns == node.end()) continue;
+    for (const auto& rd : ns->second.rdatas) {
+      const auto* nd = rd.get_if<NameData>();
+      if (nd == nullptr) continue;
+      if (nd->name.is_subdomain_of(name)) {
+        if (find(nd->name, RRType::A) == nullptr && find(nd->name, RRType::AAAA) == nullptr)
+          return Err("delegation " + name.to_string() + " needs glue for " +
+                     nd->name.to_string());
+      }
+    }
+  }
+  return Ok();
+}
+
+}  // namespace ldp::zone

@@ -1,0 +1,84 @@
+// Authoritative zone store and lookup.
+//
+// A Zone holds the RRsets of one zone (apex SOA + data) and answers the
+// question every authoritative server must: given (qname, qtype), is the
+// result an answer, a referral to a child zone, a CNAME, NODATA, or
+// NXDOMAIN — and which records substantiate it (RFC 1034 §4.3.2 algorithm,
+// including wildcard synthesis).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "dns/rr.hpp"
+
+namespace ldp::zone {
+
+using dns::Name;
+using dns::ResourceRecord;
+using dns::RRset;
+using dns::RRType;
+
+/// Lookup outcome classification.
+enum class LookupStatus {
+  Answer,      ///< answer RRsets present (possibly wildcard-synthesized)
+  Delegation,  ///< zone cut crossed: NS RRset + glue returned
+  Cname,       ///< qname has a CNAME and qtype != CNAME; answer holds it
+  NoData,      ///< name exists, type doesn't; SOA returned for negative TTL
+  NxDomain,    ///< name does not exist; SOA returned
+};
+
+struct LookupResult {
+  LookupStatus status = LookupStatus::NxDomain;
+  std::vector<RRset> answers;      ///< answer-section sets
+  std::vector<RRset> authorities;  ///< NS set for referrals, SOA for negatives
+  std::vector<RRset> additionals;  ///< glue A/AAAA for referral nameservers
+};
+
+class Zone {
+ public:
+  explicit Zone(Name origin) : origin_(std::move(origin)) {}
+
+  const Name& origin() const { return origin_; }
+
+  /// Insert a record. Rejects records whose owner is outside this zone.
+  /// Ancestor names between the origin and the owner become explicit empty
+  /// non-terminals so NXDOMAIN vs NODATA is decided correctly.
+  Result<void> add(const ResourceRecord& rr);
+
+  /// Full RFC 1034 §4.3.2 lookup including zone cuts and wildcards.
+  LookupResult lookup(const Name& qname, RRType qtype) const;
+
+  /// Direct RRset access (no delegation/wildcard logic).
+  const RRset* find(const Name& name, RRType type) const;
+
+  bool has_name(const Name& name) const { return nodes_.contains(name); }
+
+  /// Apex SOA, if the zone has one (valid zones must).
+  const RRset* soa() const { return find(origin_, RRType::SOA); }
+
+  /// Every RRset, apex first, in canonical name order (zone-file output).
+  std::vector<const RRset*> all_rrsets() const;
+
+  size_t rrset_count() const;
+  size_t record_count() const;
+
+  /// Sanity checks a server would enforce at load time: SOA present, NS at
+  /// apex, in-zone NS targets of delegations have glue.
+  Result<void> validate() const;
+
+ private:
+  using Node = std::map<RRType, RRset>;
+
+  Name origin_;
+  // Canonical Name ordering keeps all_rrsets() deterministic and groups
+  // children after parents, which the zone printer relies on.
+  std::map<Name, Node> nodes_;
+
+  const Node* find_node(const Name& name) const;
+  void collect_glue(const RRset& ns_set, LookupResult& out) const;
+};
+
+}  // namespace ldp::zone

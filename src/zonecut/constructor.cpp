@@ -1,0 +1,309 @@
+#include "zonecut/constructor.hpp"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ldp::zonecut {
+
+using dns::AaaaData;
+using dns::AData;
+using dns::Message;
+using dns::NameData;
+using dns::Rdata;
+using dns::ResourceRecord;
+using dns::RRset;
+using dns::RRType;
+using dns::SoaData;
+using zone::Zone;
+
+namespace {
+
+struct RRKey {
+  Name name;
+  RRType type;
+  bool operator==(const RRKey& o) const { return name == o.name && type == o.type; }
+};
+struct RRKeyHash {
+  size_t operator()(const RRKey& k) const {
+    return k.name.hash() * 31 + static_cast<size_t>(k.type);
+  }
+};
+
+/// Intermediate pool: first-seen RRset per (name, type) plus the addresses
+/// of the servers that provided each one.
+class RecordPool {
+ public:
+  // Returns false when a differing RRset for the same key already existed
+  // (the first answer wins, per §2.3 "Handle inconsistent replies").
+  bool add(const ResourceRecord& rr, uint64_t response_seq) {
+    RRKey key{rr.name, rr.type};
+    auto it = pool_.find(key);
+    if (it == pool_.end()) {
+      RRset set;
+      set.name = rr.name;
+      set.type = rr.type;
+      set.rrclass = rr.rrclass;
+      set.add(rr);
+      pool_.emplace(std::move(key), Entry{std::move(set), response_seq});
+      return true;
+    }
+    Entry& entry = it->second;
+    if (entry.first_response == response_seq) {
+      // Same response message: grow the RRset (multi-record sets arrive as
+      // several RRs of one message).
+      entry.set.add(rr);
+      return true;
+    }
+    // A later response: accept only if it agrees with what we already hold.
+    for (const auto& existing : entry.set.rdatas) {
+      if (existing == rr.rdata) return true;
+    }
+    return false;
+  }
+
+  const RRset* find(const Name& name, RRType type) const {
+    auto it = pool_.find(RRKey{name, type});
+    return it == pool_.end() ? nullptr : &it->second.set;
+  }
+
+  std::vector<const RRset*> all() const {
+    std::vector<const RRset*> out;
+    out.reserve(pool_.size());
+    for (const auto& [key, entry] : pool_) out.push_back(&entry.set);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    RRset set;
+    uint64_t first_response;
+  };
+  std::unordered_map<RRKey, Entry, RRKeyHash> pool_;
+};
+
+/// Closest enclosing zone from a set of zone origins; nullopt when no zone
+/// contains the name.
+std::optional<Name> closest_zone(const std::set<Name>& zone_names, const Name& owner) {
+  for (size_t k = owner.label_count() + 1; k-- > 0;) {
+    Name candidate = owner.suffix(k);
+    if (zone_names.contains(candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+/// The zone strictly containing `origin` (its parent in the cut set).
+std::optional<Name> parent_zone(const std::set<Name>& zone_names, const Name& origin) {
+  if (origin.is_root()) return std::nullopt;
+  return closest_zone(zone_names, origin.parent());
+}
+
+void add_fake_soa(Zone& zone, uint32_t serial, BuildReport& report) {
+  if (zone.soa() != nullptr) return;
+  // Mname: first apex NS target if present, else a name under the origin.
+  Name mname;
+  if (const RRset* ns = zone.find(zone.origin(), RRType::NS)) {
+    if (const auto* nd = ns->rdatas[0].get_if<NameData>()) mname = nd->name;
+  }
+  if (mname.is_root() && !zone.origin().is_root()) {
+    auto prefixed = zone.origin().with_prefix_label("ns");
+    if (prefixed.ok()) mname = *prefixed;
+  }
+  SoaData soa;
+  soa.mname = mname;
+  auto rname = zone.origin().with_prefix_label("hostmaster");
+  soa.rname = rname.ok() ? *rname : zone.origin();
+  soa.serial = serial;
+  soa.refresh = 3600;
+  soa.retry = 900;
+  soa.expire = 604800;
+  soa.minimum = 300;
+  ResourceRecord rr{zone.origin(), RRType::SOA, dns::RRClass::IN, 3600, Rdata{soa}};
+  (void)zone.add(rr);
+  ++report.fake_soas;
+}
+
+}  // namespace
+
+Result<BuildResult> build_zones(const std::vector<TraceRecord>& records,
+                                const BuildOptions& options) {
+  BuildResult result;
+  BuildReport& report = result.report;
+
+  RecordPool pool;
+  std::set<Name> zone_names;
+  // Which response source addresses served each zone's data. An
+  // authoritative (AA) response attributes its source to the NS owner's own
+  // zone; a referral attributes the source to the *parent* of the delegated
+  // zone (the server that handed out the referral serves the parent).
+  // Referral attribution is resolved after all zone cuts are known.
+  std::unordered_map<Name, std::set<IpAddr>, dns::NameHash> zone_sources;
+  std::vector<std::pair<Name, IpAddr>> referral_sources;
+
+  // Pass 1: harvest RRsets and discover zone cuts.
+  uint64_t response_seq = 0;
+  for (const auto& rec : records) {
+    if (rec.direction != trace::Direction::Response) continue;
+    ++report.responses_scanned;
+    auto msg = rec.message();
+    if (!msg.ok()) {
+      ++report.undecodable;
+      continue;
+    }
+    ++response_seq;
+    auto harvest = [&](const std::vector<ResourceRecord>& section) {
+      for (const auto& rr : section) {
+        if (rr.type == RRType::OPT) continue;
+        if (pool.add(rr, response_seq)) {
+          ++report.records_harvested;
+        } else {
+          ++report.conflicts_first_wins;
+        }
+        if (rr.type == RRType::NS || rr.type == RRType::SOA) {
+          zone_names.insert(rr.name);
+          if (msg->header.aa) {
+            zone_sources[rr.name].insert(rec.src.addr);
+          } else if (rr.type == RRType::NS) {
+            referral_sources.emplace_back(rr.name, rec.src.addr);
+          }
+        }
+      }
+    };
+    harvest(msg->answers);
+    harvest(msg->authorities);
+    harvest(msg->additionals);
+  }
+
+  if (options.ensure_root) zone_names.insert(Name{});
+
+  // Pass 2: split the pool into zones.
+  std::unordered_map<Name, Zone, dns::NameHash> zones;
+  for (const Name& origin : zone_names) zones.emplace(origin, Zone(origin));
+
+  auto add_to = [&zones](const Name& origin, const ResourceRecord& rr) {
+    auto it = zones.find(origin);
+    if (it != zones.end()) (void)it->second.add(rr);
+  };
+
+  for (const RRset* set : pool.all()) {
+    auto owner_zone = closest_zone(zone_names, set->name);
+    if (!owner_zone.has_value()) continue;
+    for (const auto& rr : set->to_records()) {
+      add_to(*owner_zone, rr);
+      // Delegation NS sets are authoritative at the child apex but must
+      // also appear in the parent as the referral data.
+      if (rr.type == RRType::NS && rr.name == *owner_zone) {
+        if (auto parent = parent_zone(zone_names, *owner_zone)) add_to(*parent, rr);
+      }
+    }
+  }
+
+  // Resolve referral attributions now that all zone cuts are known.
+  for (const auto& [delegated, src] : referral_sources) {
+    if (auto parent = parent_zone(zone_names, delegated))
+      zone_sources[*parent].insert(src);
+  }
+
+  // Pass 3: glue for in-bailiwick delegations, fake SOAs, server addresses.
+  for (auto& [origin, zone] : zones) {
+    // Recover a missing apex NS (§2.3: the paper probes for NS records that
+    // never appeared in the trace; offline we synthesize one that points at
+    // the addresses observed answering for this zone).
+    if (zone.find(origin, RRType::NS) == nullptr) {
+      auto ns_name = origin.with_prefix_label("zone-ns");
+      if (ns_name.ok()) {
+        (void)zone.add(ResourceRecord{origin, RRType::NS, dns::RRClass::IN, 3600,
+                                      Rdata{NameData{*ns_name}}});
+        auto src_it = zone_sources.find(origin);
+        if (src_it != zone_sources.end()) {
+          for (const IpAddr& addr : src_it->second) {
+            if (!addr.is_v4()) continue;
+            (void)zone.add(ResourceRecord{*ns_name, RRType::A, dns::RRClass::IN,
+                                          3600, Rdata{AData{addr.v4()}}});
+          }
+        }
+      }
+    }
+    // Pull glue: for each delegation in this zone, nameserver targets below
+    // the cut need their addresses here.
+    std::vector<ResourceRecord> glue;
+    for (const dns::RRset* set : zone.all_rrsets()) {
+      if (set->type != RRType::NS || set->name == origin) continue;
+      for (const auto& rd : set->rdatas) {
+        const auto* nd = rd.get_if<NameData>();
+        if (nd == nullptr || !nd->name.is_subdomain_of(set->name)) continue;
+        for (RRType t : {RRType::A, RRType::AAAA}) {
+          if (const RRset* addr = pool.find(nd->name, t)) {
+            for (const auto& rr : addr->to_records()) glue.push_back(rr);
+          }
+        }
+      }
+    }
+    for (const auto& rr : glue) (void)zone.add(rr);
+
+    add_fake_soa(zone, options.fake_soa_serial, report);
+
+    // Nameserver addresses for the split-horizon view config.
+    std::vector<IpAddr> servers;
+    std::set<IpAddr> seen;
+    if (const RRset* ns = zone.find(origin, RRType::NS)) {
+      for (const auto& rd : ns->rdatas) {
+        const auto* nd = rd.get_if<NameData>();
+        if (nd == nullptr) continue;
+        for (RRType t : {RRType::A, RRType::AAAA}) {
+          if (const RRset* addr = pool.find(nd->name, t)) {
+            for (const auto& rdata : addr->rdatas) {
+              IpAddr ip;
+              if (const auto* a = rdata.get_if<AData>()) ip = IpAddr{a->addr};
+              else if (const auto* aaaa = rdata.get_if<AaaaData>()) ip = IpAddr{aaaa->addr};
+              else continue;
+              if (seen.insert(ip).second) servers.push_back(ip);
+            }
+          }
+        }
+      }
+    }
+    if (servers.empty()) {
+      // Fall back to the addresses that actually answered for this zone.
+      auto it = zone_sources.find(origin);
+      if (it != zone_sources.end())
+        servers.assign(it->second.begin(), it->second.end());
+    }
+    result.zone_servers[origin] = std::move(servers);
+  }
+
+  for (auto& [origin, zone] : zones) {
+    LDP_TRY_VOID(result.zones.add(std::move(zone)));
+    ++report.zones_built;
+  }
+  return result;
+}
+
+Result<zone::Zone> build_single_zone(const Name& origin,
+                                     const std::vector<TraceRecord>& records,
+                                     const BuildOptions& options) {
+  Zone zone(origin);
+  BuildReport report;
+  RecordPool pool;
+  uint64_t seq = 0;
+  for (const auto& rec : records) {
+    if (rec.direction != trace::Direction::Response) continue;
+    auto msg = rec.message();
+    if (!msg.ok()) continue;
+    ++seq;
+    for (const auto* section : {&msg->answers, &msg->authorities, &msg->additionals}) {
+      for (const auto& rr : *section) {
+        if (rr.type == RRType::OPT) continue;
+        if (!rr.name.is_subdomain_of(origin)) continue;
+        pool.add(rr, seq);
+      }
+    }
+  }
+  for (const dns::RRset* set : pool.all()) {
+    for (const auto& rr : set->to_records()) LDP_TRY_VOID(zone.add(rr));
+  }
+  add_fake_soa(zone, options.fake_soa_serial, report);
+  return zone;
+}
+
+}  // namespace ldp::zonecut

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the command-line tools:
+#   ldp-synth -> ldp-trace-convert (pcap -> txt -> ldpb -> erf -> pcap)
+#   -> ldp-zone-construct -> ldp-server + ldp-replay over loopback.
+# Invoked by ctest with the tool paths as arguments.
+set -euo pipefail
+
+SYNTH=$1
+CONVERT=$2
+ZONECONSTRUCT=$3
+SERVER=$4
+REPLAY=$5
+
+WORK=$(mktemp -d)
+trap 'kill $SERVER_PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+echo "== synth: generate a small workload in every format"
+$SYNTH fixed --gap-us 5000 --duration 2 --clients 20 --seed 7 trace.pcap
+$SYNTH root --rate 200 --duration 2 --seed 7 root.ldpb
+$SYNTH attack --rate 500 --duration 1 --victim example.com atk.txt
+
+echo "== convert: pcap -> txt -> ldpb -> erf -> pcap"
+$CONVERT trace.pcap trace.txt
+$CONVERT trace.txt trace.ldpb
+$CONVERT trace.ldpb trace.erf
+$CONVERT trace.erf trace2.pcap
+# The round trip preserves the query count.
+n1=$(grep -vc '^#' trace.txt || true)
+$CONVERT trace2.pcap trace2.txt
+n2=$(grep -vc '^#' trace2.txt || true)
+[ "$n1" = "$n2" ] || { echo "round-trip count mismatch: $n1 vs $n2"; exit 1; }
+
+echo "== zone-construct: build zones from a capture"
+$ZONECONSTRUCT trace.pcap zones_out
+[ -f zones_out/views.conf ] || { echo "no views.conf produced"; exit 1; }
+
+echo "== server + replay over loopback"
+cat > example.zone <<'EOF'
+$ORIGIN example.com.
+$TTL 3600
+@ IN SOA ns1 admin 1 7200 900 1209600 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+* IN A 192.0.2.80
+EOF
+PORT=$(( (RANDOM % 10000) + 20000 ))
+$SERVER --port $PORT example.zone &
+SERVER_PID=$!
+sleep 0.5
+
+OUT=$($REPLAY --fast trace.ldpb 127.0.0.1 $PORT)
+echo "$OUT"
+echo "$OUT" | grep -q "queries sent:       400" || { echo "unexpected query count"; exit 1; }
+RESP=$(echo "$OUT" | sed -n 's/responses received: \([0-9]*\).*/\1/p')
+[ "$RESP" -gt 0 ] || { echo "no responses received"; exit 1; }
+
+echo "== replay with live what-if mutation (--transport tcp --dnssec)"
+OUT2=$($REPLAY --fast --transport tcp --dnssec --prefix smoke trace.ldpb 127.0.0.1 $PORT)
+echo "$OUT2"
+echo "$OUT2" | grep -q "connections opened:" || exit 1
+
+kill $SERVER_PID
+wait $SERVER_PID 2>/dev/null || true
+echo "CLI smoke test passed"

@@ -1,0 +1,165 @@
+// Cross-validation: the discrete-event simulator and the real-socket stack
+// must agree on the observable protocol behaviour they both model —
+// connection counts under reuse, idle-timeout closes, and response
+// completeness. Divergence here would mean the Figures 11/13-15 results
+// (simulated) don't describe the system the Figures 6-9 results (real
+// sockets) measured.
+#include <gtest/gtest.h>
+
+#include "replay/engine.hpp"
+#include "server/background.hpp"
+#include "simnet/replay_sim.hpp"
+#include "zone/parser.hpp"
+
+namespace ldp {
+namespace {
+
+using trace::TraceRecord;
+
+server::AuthServer wildcard_server() {
+  server::AuthServer s;
+  auto z = zone::parse_zone(R"(
+$ORIGIN example.com.
+$TTL 3600
+@ IN SOA ns1 admin 1 7200 900 1209600 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+* IN A 192.0.2.80
+)");
+  EXPECT_TRUE(z.ok());
+  EXPECT_TRUE(s.default_zones().add(std::move(*z)).ok());
+  return s;
+}
+
+/// A deterministic TCP workload: 6 clients, variable gaps, some inside and
+/// some outside the 1-second timeout used below.
+std::vector<TraceRecord> tcp_workload() {
+  std::vector<TraceRecord> trace;
+  int seq = 0;
+  auto add = [&](int client, TimeNs t) {
+    dns::Message q = dns::Message::make_query(
+        static_cast<uint16_t>(seq),
+        *dns::Name::parse("q" + std::to_string(seq) + ".example.com"), dns::RRType::A);
+    trace.push_back(trace::make_query_record(
+        t, Endpoint{IpAddr{Ip4{10, 7, 0, static_cast<uint8_t>(client)}}, 50000},
+        Endpoint{IpAddr{}, 53}, q, Transport::Tcp));
+    ++seq;
+  };
+  for (int c = 1; c <= 3; ++c) {
+    // Busy clients: 8 queries 200 ms apart — all reuse (gap < timeout).
+    for (int i = 0; i < 8; ++i) add(c, i * 200 * kMilli);
+  }
+  for (int c = 4; c <= 6; ++c) {
+    // Sparse clients: 2 queries 2.5 s apart — timeout forces a reconnect.
+    add(c, 0);
+    add(c, 2500 * kMilli);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return trace;
+}
+
+TEST(CrossValidation, ConnectionCountsMatchBetweenSimAndSockets) {
+  auto trace = tcp_workload();
+  const TimeNs kTimeout = kSecond;
+
+  // --- simulated run ---
+  auto sim_server = wildcard_server();
+  simnet::SimReplayConfig sim_cfg;
+  sim_cfg.rtt = kMilli;
+  sim_cfg.idle_timeout = kTimeout;
+  sim_cfg.sample_interval = kSecond;
+  auto sim = simnet::simulate_replay(trace, sim_server, sim_cfg);
+
+  // --- real-socket run ---
+  server::FrontendConfig fe_cfg;
+  fe_cfg.tcp_idle_timeout = kTimeout;
+  fe_cfg.sweep_interval = 100 * kMilli;
+  auto bg = server::BackgroundServer::start(wildcard_server(), fe_cfg);
+  ASSERT_TRUE(bg.ok());
+  replay::EngineConfig cfg;
+  cfg.server = (*bg)->endpoint();
+  // Queriers must not close idle conns before the server does, to mirror
+  // the simulation's server-driven timeout.
+  cfg.tcp_idle_timeout = 10 * kSecond;
+  replay::QueryEngine engine(cfg);
+  auto report = engine.replay(trace);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  (*bg)->stop();
+
+  // Both substrates answered everything.
+  EXPECT_EQ(sim.responses, trace.size());
+  EXPECT_EQ(report->responses_received, trace.size());
+
+  // Expected connections: 3 busy clients x 1 + 3 sparse clients x 2 = 9.
+  EXPECT_EQ(sim.connections_opened, 9u);
+  EXPECT_EQ(report->connections_opened, 9u);
+  EXPECT_EQ((*bg)->connections().accepted, 9u);
+
+  // Idle closes: every connection eventually idles out in the sim; the
+  // real server closed at least the sparse clients' first connections
+  // (and typically the rest before shutdown).
+  EXPECT_EQ(sim.connections_closed_idle, 9u);
+  EXPECT_GE((*bg)->connections().closed_idle, 3u);
+}
+
+TEST(CrossValidation, UdpWorkloadNeedsNoConnections) {
+  std::vector<TraceRecord> trace;
+  for (int i = 0; i < 50; ++i) {
+    dns::Message q = dns::Message::make_query(
+        static_cast<uint16_t>(i),
+        *dns::Name::parse("u" + std::to_string(i) + ".example.com"), dns::RRType::A);
+    trace.push_back(trace::make_query_record(
+        i * 10 * kMilli, Endpoint{IpAddr{Ip4{10, 8, 0, 1}}, 50000},
+        Endpoint{IpAddr{}, 53}, q, Transport::Udp));
+  }
+
+  auto sim_server = wildcard_server();
+  simnet::SimReplayConfig sim_cfg;
+  auto sim = simnet::simulate_replay(trace, sim_server, sim_cfg);
+  EXPECT_EQ(sim.connections_opened, 0u);
+
+  auto bg = server::BackgroundServer::start(wildcard_server());
+  ASSERT_TRUE(bg.ok());
+  replay::EngineConfig cfg;
+  cfg.server = (*bg)->endpoint();
+  replay::QueryEngine engine(cfg);
+  auto report = engine.replay(trace);
+  ASSERT_TRUE(report.ok());
+  (*bg)->stop();
+  EXPECT_EQ(report->connections_opened, 0u);
+  EXPECT_EQ((*bg)->connections().accepted, 0u);
+  EXPECT_EQ(report->responses_received, trace.size());
+}
+
+TEST(CrossValidation, ResponseSizesIdenticalAcrossSubstrates) {
+  // The same query answered by the same AuthServer must produce identical
+  // bytes whether it arrives through the simulator or a real socket — the
+  // server core is substrate-independent.
+  auto server = wildcard_server();
+  dns::Message q = dns::Message::make_query(
+      123, *dns::Name::parse("same.example.com"), dns::RRType::A);
+  auto direct = server.answer_wire(q.to_wire(), IpAddr{Ip4{10, 9, 0, 1}}, 512);
+  ASSERT_TRUE(direct.has_value());
+
+  auto bg = server::BackgroundServer::start(wildcard_server());
+  ASSERT_TRUE(bg.ok());
+  auto sock = net::UdpSocket::bind(Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, 0});
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(sock->send_to((*bg)->endpoint(), q.to_wire()).ok());
+  for (int i = 0; i < 1000; ++i) {
+    auto dg = sock->recv();
+    ASSERT_TRUE(dg.ok());
+    if (dg->has_value()) {
+      EXPECT_EQ((*dg)->payload, *direct);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "no response";
+}
+
+}  // namespace
+}  // namespace ldp

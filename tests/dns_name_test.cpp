@@ -1,0 +1,193 @@
+// Tests for dns::Name: presentation parsing, wire codec with compression
+// pointers, ordering, and the suffix relations the zone store relies on.
+#include <gtest/gtest.h>
+
+#include "dns/name.hpp"
+
+namespace ldp::dns {
+namespace {
+
+Name mk(std::string_view s) {
+  auto r = Name::parse(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << (r.ok() ? "" : r.error().message);
+  return *r;
+}
+
+TEST(Name, ParseBasics) {
+  Name n = mk("www.Example.COM");
+  EXPECT_EQ(n.label_count(), 3u);
+  EXPECT_EQ(n.label(0), "www");
+  EXPECT_EQ(n.label(1), "example");  // lowercased
+  EXPECT_EQ(n.label(2), "com");
+  EXPECT_EQ(n.to_string(), "www.example.com.");
+}
+
+TEST(Name, RootForms) {
+  Name root = mk(".");
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.to_string(), ".");
+  EXPECT_EQ(root.wire_length(), 1u);
+  EXPECT_FALSE(Name::parse("").ok());
+}
+
+TEST(Name, TrailingDotOptional) {
+  EXPECT_EQ(mk("example.com"), mk("example.com."));
+}
+
+TEST(Name, CaseInsensitiveEquality) {
+  EXPECT_EQ(mk("WWW.EXAMPLE.COM"), mk("www.example.com"));
+}
+
+TEST(Name, EscapeSequences) {
+  Name n = mk(R"(ex\.ample.com)");
+  EXPECT_EQ(n.label_count(), 2u);
+  EXPECT_EQ(n.label(0), "ex.ample");
+  EXPECT_EQ(n.to_string(), R"(ex\.ample.com.)");
+
+  Name d = mk(R"(a\065b.com)");  // \065 = 'A' -> lowercased to 'a'
+  EXPECT_EQ(d.label(0), "aab");
+
+  EXPECT_FALSE(Name::parse(R"(bad\)").ok());
+  EXPECT_FALSE(Name::parse(R"(bad\25)").ok());
+  EXPECT_FALSE(Name::parse(R"(bad\999x)").ok());
+}
+
+TEST(Name, LabelAndNameLengthLimits) {
+  std::string label63(63, 'a');
+  EXPECT_TRUE(Name::parse(label63 + ".com").ok());
+  std::string label64(64, 'a');
+  EXPECT_FALSE(Name::parse(label64 + ".com").ok());
+
+  // 255-octet total: four 63-char labels = 63*4 + 4 length bytes + root = 257.
+  std::string too_long = label63 + "." + label63 + "." + label63 + "." + label63;
+  EXPECT_FALSE(Name::parse(too_long).ok());
+  // Three 63s plus a shorter one fits.
+  std::string fits = label63 + "." + label63 + "." + label63 + "." + std::string(61, 'b');
+  EXPECT_TRUE(Name::parse(fits).ok());
+}
+
+TEST(Name, WireRoundTrip) {
+  Name n = mk("mail.google.com");
+  ByteWriter w;
+  n.to_wire(w);
+  EXPECT_EQ(w.size(), n.wire_length());
+  ByteReader rd(w.data());
+  auto back = Name::from_wire(rd);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, n);
+  EXPECT_TRUE(rd.empty());
+}
+
+TEST(Name, WireCompressionPointer) {
+  // Build: [example.com at 0][www -> pointer to 0]
+  ByteWriter w;
+  mk("example.com").to_wire(w);
+  size_t second = w.size();
+  w.u8(3);
+  w.bytes(std::string_view("www"));
+  w.u16(0xc000);  // pointer to offset 0
+
+  ByteReader rd(w.data());
+  ASSERT_TRUE(rd.seek(second).ok());
+  auto n = Name::from_wire(rd);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->to_string(), "www.example.com.");
+  EXPECT_TRUE(rd.empty());  // cursor resumed after the pointer
+}
+
+TEST(Name, WirePointerLoopRejected) {
+  // A pointer at offset 2 pointing to offset 0, where offset 0 points to 2.
+  std::vector<uint8_t> data = {0xc0, 0x02, 0xc0, 0x00};
+  ByteReader rd(data);
+  EXPECT_FALSE(Name::from_wire(rd).ok());
+}
+
+TEST(Name, WireForwardPointerRejected) {
+  std::vector<uint8_t> data = {0xc0, 0x02, 0x00};
+  ByteReader rd(data);
+  EXPECT_FALSE(Name::from_wire(rd).ok());
+}
+
+TEST(Name, WireTruncatedRejected) {
+  std::vector<uint8_t> data = {0x03, 'w', 'w'};
+  ByteReader rd(data);
+  EXPECT_FALSE(Name::from_wire(rd).ok());
+}
+
+TEST(Name, SubdomainRelation) {
+  Name root = mk(".");
+  Name com = mk("com");
+  Name example = mk("example.com");
+  Name www = mk("www.example.com");
+  EXPECT_TRUE(www.is_subdomain_of(example));
+  EXPECT_TRUE(www.is_subdomain_of(com));
+  EXPECT_TRUE(www.is_subdomain_of(root));
+  EXPECT_TRUE(example.is_subdomain_of(example));
+  EXPECT_FALSE(example.is_subdomain_of(www));
+  EXPECT_FALSE(mk("notexample.com").is_subdomain_of(example));
+}
+
+TEST(Name, ParentChain) {
+  Name n = mk("a.b.c");
+  EXPECT_EQ(n.parent(), mk("b.c"));
+  EXPECT_EQ(n.parent().parent(), mk("c"));
+  EXPECT_TRUE(n.parent().parent().parent().is_root());
+}
+
+TEST(Name, WithPrefixLabel) {
+  auto n = mk("example.com").with_prefix_label("www");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, mk("www.example.com"));
+}
+
+TEST(Name, CommonSuffix) {
+  EXPECT_EQ(mk("www.example.com").common_suffix_labels(mk("mail.example.com")), 2u);
+  EXPECT_EQ(mk("www.example.com").common_suffix_labels(mk("example.org")), 0u);
+  EXPECT_EQ(mk("a.com").common_suffix_labels(mk("a.com")), 2u);
+}
+
+TEST(Name, CanonicalOrdering) {
+  // RFC 4034 §6.1: sort by most-significant (rightmost) label first.
+  Name a = mk("example.com");
+  Name b = mk("a.example.com");
+  Name c = mk("z.example.com");
+  Name d = mk("example.org");
+  EXPECT_TRUE(a < b);  // parent sorts before children
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(c < d);  // com < org at the top label
+  EXPECT_FALSE(a < a);
+}
+
+TEST(Name, HashStableAcrossCase) {
+  EXPECT_EQ(mk("WWW.EXAMPLE.COM").hash(), mk("www.example.com").hash());
+}
+
+// Property sweep: names of varying label counts round-trip through wire and
+// presentation formats.
+class NameRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NameRoundTrip, WireAndText) {
+  Name n = mk(GetParam());
+  ByteWriter w;
+  n.to_wire(w);
+  ByteReader rd(w.data());
+  auto wire_back = Name::from_wire(rd);
+  ASSERT_TRUE(wire_back.ok());
+  EXPECT_EQ(*wire_back, n);
+
+  auto text_back = Name::parse(n.to_string());
+  ASSERT_TRUE(text_back.ok());
+  EXPECT_EQ(*text_back, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, NameRoundTrip,
+                         ::testing::Values(".", "com", "example.com",
+                                           "www.example.com",
+                                           "a.b.c.d.e.f.g.h.i.j",
+                                           "xn--nxasmq6b.example",
+                                           "_dmarc.example.com",
+                                           "*.wildcard.example",
+                                           R"(odd\.label.example)"));
+
+}  // namespace
+}  // namespace ldp::dns

@@ -1,0 +1,174 @@
+// Tests for the ERF capture format (the DITL distribution format Figure 3
+// names alongside pcap): round trips, timestamp fixed-point conversion,
+// extension headers, junk skipping, and cross-format equivalence with pcap.
+#include <gtest/gtest.h>
+
+#include "trace/erf.hpp"
+#include "trace/pcap.hpp"
+
+namespace ldp::trace {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::RRType;
+
+TraceRecord sample_record(TimeNs t, Transport transport = Transport::Udp) {
+  Message q = Message::make_query(0x77, *Name::parse("erf.example.com"), RRType::A);
+  return make_query_record(t, Endpoint{IpAddr{Ip4{198, 51, 100, 9}}, 44444},
+                           Endpoint{IpAddr{Ip4{192, 0, 2, 53}}, 53}, q, transport);
+}
+
+TEST(Erf, UdpRoundTrip) {
+  ErfWriter w;
+  auto rec = sample_record(1461234567 * kSecond + 123456789);
+  w.add(rec);
+  auto reader = ErfReader::from_bytes(std::move(w).take());
+  ASSERT_TRUE(reader.ok()) << reader.error().message;
+  auto all = reader->read_all();
+  ASSERT_TRUE(all.ok()) << all.error().message;
+  ASSERT_EQ(all->size(), 1u);
+  const auto& got = (*all)[0];
+  EXPECT_EQ(got.src, rec.src);
+  EXPECT_EQ(got.dst, rec.dst);
+  EXPECT_EQ(got.dns_payload, rec.dns_payload);
+  // ERF fixed-point timestamps: sub-250ns round-trip error.
+  EXPECT_NEAR(static_cast<double>(got.timestamp),
+              static_cast<double>(rec.timestamp), 250.0);
+}
+
+TEST(Erf, TcpAndTlsClassified) {
+  ErfWriter w;
+  w.add(sample_record(kSecond, Transport::Tcp));
+  auto tls = sample_record(2 * kSecond, Transport::Tls);
+  tls.dst.port = 853;
+  w.add(tls);
+  auto reader = ErfReader::from_bytes(std::move(w).take());
+  ASSERT_TRUE(reader.ok());
+  auto all = reader->read_all();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].transport, Transport::Tcp);
+  EXPECT_EQ((*all)[1].transport, Transport::Tls);
+}
+
+TEST(Erf, MultipleRecordsKeepOrder) {
+  ErfWriter w;
+  for (int i = 0; i < 50; ++i) w.add(sample_record(i * kMilli));
+  EXPECT_EQ(w.record_count(), 50u);
+  auto reader = ErfReader::from_bytes(std::move(w).take());
+  ASSERT_TRUE(reader.ok());
+  auto all = reader->read_all();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 50u);
+  for (size_t i = 1; i < all->size(); ++i)
+    EXPECT_GT((*all)[i].timestamp, (*all)[i - 1].timestamp);
+}
+
+TEST(Erf, SkipsNonDnsAndNonEthRecords) {
+  ErfWriter w;
+  auto junk = sample_record(0);
+  junk.src.port = 8080;
+  junk.dst.port = 80;
+  w.add(junk);
+  w.add(sample_record(kMilli));
+  auto bytes = std::move(w).take();
+
+  // Append a hand-built non-ETH (type 1 = HDLC) record.
+  ByteWriter extra;
+  extra.u32_le(0);
+  extra.u32_le(1);
+  extra.u8(1);  // type HDLC
+  extra.u8(0);
+  extra.u16(16 + 4);
+  extra.u16(0);
+  extra.u16(4);
+  extra.u32(0xdeadbeef);
+  auto extra_bytes = std::move(extra).take();
+  bytes.insert(bytes.end(), extra_bytes.begin(), extra_bytes.end());
+
+  auto reader = ErfReader::from_bytes(std::move(bytes));
+  ASSERT_TRUE(reader.ok());
+  auto all = reader->read_all();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1u);
+  EXPECT_EQ(reader->skipped(), 2u);
+}
+
+TEST(Erf, ExtensionHeadersSkipped) {
+  // Build a record manually with one extension header before the payload.
+  ErfWriter plain;
+  auto rec = sample_record(5 * kSecond);
+  plain.add(rec);
+  auto base = std::move(plain).take();
+
+  // Surgery: set the ext-header bit on type, insert an 8-byte ext header
+  // after the 16-byte record header, and bump rlen.
+  std::vector<uint8_t> hacked(base.begin(), base.end());
+  hacked[8] |= 0x80;  // type |= ext bit
+  uint16_t rlen = static_cast<uint16_t>(hacked[10] << 8 | hacked[11]);
+  rlen += 8;
+  hacked[10] = static_cast<uint8_t>(rlen >> 8);
+  hacked[11] = static_cast<uint8_t>(rlen);
+  std::vector<uint8_t> ext(8, 0);
+  ext[0] = 0x01;  // one ext header, no chain bit
+  hacked.insert(hacked.begin() + 16, ext.begin(), ext.end());
+
+  auto reader = ErfReader::from_bytes(std::move(hacked));
+  ASSERT_TRUE(reader.ok());
+  auto all = reader->read_all();
+  ASSERT_TRUE(all.ok()) << all.error().message;
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ((*all)[0].dns_payload, rec.dns_payload);
+}
+
+TEST(Erf, TruncationIsAnError) {
+  ErfWriter w;
+  w.add(sample_record(0));
+  auto bytes = std::move(w).take();
+  bytes.resize(bytes.size() - 5);
+  auto reader = ErfReader::from_bytes(std::move(bytes));
+  ASSERT_TRUE(reader.ok());
+  auto rec = reader->next();
+  EXPECT_FALSE(rec.ok());
+}
+
+TEST(Erf, FileSaveLoad) {
+  ErfWriter w;
+  for (int i = 0; i < 10; ++i) w.add(sample_record(i * kMilli));
+  std::string path = ::testing::TempDir() + "/ldp_test.erf";
+  ASSERT_TRUE(w.save(path).ok());
+  auto reader = ErfReader::open(path);
+  ASSERT_TRUE(reader.ok());
+  auto all = reader->read_all();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 10u);
+}
+
+TEST(Erf, EquivalentToPcapForSameRecords) {
+  // The same trace through both capture formats yields identical records
+  // up to timestamp quantization.
+  std::vector<TraceRecord> recs;
+  for (int i = 0; i < 20; ++i)
+    recs.push_back(sample_record(i * 10 * kMilli, i % 3 ? Transport::Udp
+                                                        : Transport::Tcp));
+  PcapWriter pw;
+  ErfWriter ew;
+  for (const auto& rec : recs) {
+    pw.add(rec);
+    ew.add(rec);
+  }
+  auto from_pcap = PcapReader::from_bytes(std::move(pw).take())->read_all();
+  auto from_erf = ErfReader::from_bytes(std::move(ew).take())->read_all();
+  ASSERT_TRUE(from_pcap.ok());
+  ASSERT_TRUE(from_erf.ok());
+  ASSERT_EQ(from_pcap->size(), from_erf->size());
+  for (size_t i = 0; i < from_pcap->size(); ++i) {
+    EXPECT_EQ((*from_pcap)[i].dns_payload, (*from_erf)[i].dns_payload);
+    EXPECT_EQ((*from_pcap)[i].src, (*from_erf)[i].src);
+    EXPECT_EQ((*from_pcap)[i].transport, (*from_erf)[i].transport);
+  }
+}
+
+}  // namespace
+}  // namespace ldp::trace

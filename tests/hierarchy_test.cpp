@@ -1,0 +1,283 @@
+// Integration test of the paper's core contribution (§2.4): a single
+// meta-DNS-server with split-horizon views behind address-rewriting proxies
+// emulates multiple independent levels of the DNS hierarchy, returning the
+// same answers independent servers would — while a naive single server
+// (all zones, no views) provably does not.
+#include <gtest/gtest.h>
+
+#include "proxy/proxy.hpp"
+#include "resolver/resolver.hpp"
+#include "server/auth_server.hpp"
+#include "zone/parser.hpp"
+#include "zonecut/constructor.hpp"
+
+namespace ldp {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+using proxy::Datagram;
+using proxy::ServerProxy;
+using server::AuthServer;
+
+Name mk(std::string_view s) { return *Name::parse(s); }
+
+const IpAddr kRootAddr{Ip4{198, 41, 0, 4}};
+const IpAddr kComAddr{Ip4{192, 5, 6, 30}};
+const IpAddr kGoogleAddr{Ip4{216, 239, 32, 10}};
+const IpAddr kRecursiveAddr{Ip4{10, 1, 1, 2}};
+const IpAddr kMetaAddr{Ip4{10, 1, 1, 3}};
+
+const char* kRootZone = R"(
+$ORIGIN .
+$TTL 86400
+. IN SOA a.root-servers.net. nstld.example. 1 1800 900 604800 86400
+. IN NS a.root-servers.net.
+a.root-servers.net. IN A 198.41.0.4
+com. IN NS a.gtld-servers.net.
+a.gtld-servers.net. IN A 192.5.6.30
+)";
+const char* kComZone = R"(
+$ORIGIN com.
+$TTL 172800
+@ IN SOA a.gtld-servers.net. nstld.example. 1 1800 900 604800 86400
+@ IN NS a.gtld-servers.net.
+google.com. IN NS ns1.google.com.
+ns1.google.com. IN A 216.239.32.10
+)";
+const char* kGoogleZone = R"(
+$ORIGIN google.com.
+$TTL 300
+@ IN SOA ns1 dns-admin 1 900 900 1800 60
+@ IN NS ns1
+ns1 IN A 216.239.32.10
+www IN A 172.217.14.4
+mail IN CNAME www
+)";
+
+zone::Zone parse(const char* text) {
+  auto z = zone::parse_zone(text);
+  EXPECT_TRUE(z.ok()) << (z.ok() ? "" : z.error().message);
+  return std::move(*z);
+}
+
+/// Meta-DNS-server: ONE AuthServer, one view per emulated nameserver, keyed
+/// by that nameserver's public address (which the recursive proxy writes
+/// into the query source field).
+AuthServer make_meta_server() {
+  AuthServer meta;
+  zone::View& root_view = meta.views().add_view("a.root-servers.net");
+  root_view.match_clients.insert(kRootAddr);
+  EXPECT_TRUE(root_view.zones.add(parse(kRootZone)).ok());
+
+  zone::View& com_view = meta.views().add_view("a.gtld-servers.net");
+  com_view.match_clients.insert(kComAddr);
+  EXPECT_TRUE(com_view.zones.add(parse(kComZone)).ok());
+
+  zone::View& google_view = meta.views().add_view("ns1.google.com");
+  google_view.match_clients.insert(kGoogleAddr);
+  EXPECT_TRUE(google_view.zones.add(parse(kGoogleZone)).ok());
+  return meta;
+}
+
+/// Upstream that pushes every query through recursive proxy -> meta server
+/// -> authoritative proxy, exactly the Figure 2 data path.
+resolver::RecursiveResolver::Upstream emulated_upstream(AuthServer& meta,
+                                                        uint64_t* hops = nullptr) {
+  return [&meta, hops](const Endpoint& server, const Message& q) -> Result<Message> {
+    if (hops != nullptr) ++*hops;
+    ServerProxy rec_proxy(ServerProxy::Role::Recursive, kMetaAddr);
+    ServerProxy aut_proxy(ServerProxy::Role::Authoritative, kRecursiveAddr);
+
+    Datagram query_pkt;
+    query_pkt.src = Endpoint{kRecursiveAddr, 42001};
+    query_pkt.dst = server;  // the public address of the target nameserver
+    query_pkt.payload = q.to_wire();
+    if (!rec_proxy.rewrite(query_pkt)) return Err("recursive proxy did not capture");
+
+    // Meta server answers; split-horizon selection keys on the (rewritten)
+    // query source address.
+    Message response = meta.answer(q, query_pkt.src.addr);
+
+    Datagram reply_pkt;
+    reply_pkt.src = Endpoint{kMetaAddr, 53};
+    reply_pkt.dst = query_pkt.src;
+    reply_pkt.payload = response.to_wire();
+    if (!aut_proxy.rewrite(reply_pkt)) return Err("authoritative proxy did not capture");
+
+    // The §2.4 acceptance condition: reply source must equal the original
+    // query destination, or a real recursive would drop it.
+    if (!(reply_pkt.src.addr == server.addr))
+      return Err("reply source mismatch: recursive would drop");
+    return response;
+  };
+}
+
+/// The "real world": three separate servers routed by destination address.
+struct IndependentServers {
+  AuthServer root, com, google;
+  IndependentServers() {
+    EXPECT_TRUE(root.default_zones().add(parse(kRootZone)).ok());
+    EXPECT_TRUE(com.default_zones().add(parse(kComZone)).ok());
+    EXPECT_TRUE(google.default_zones().add(parse(kGoogleZone)).ok());
+  }
+  resolver::RecursiveResolver::Upstream upstream() {
+    return [this](const Endpoint& server, const Message& q) -> Result<Message> {
+      if (server.addr == kRootAddr) return root.answer(q, kRecursiveAddr);
+      if (server.addr == kComAddr) return com.answer(q, kRecursiveAddr);
+      if (server.addr == kGoogleAddr) return google.answer(q, kRecursiveAddr);
+      return Err("no route");
+    };
+  }
+};
+
+resolver::ResolverConfig resolver_config() {
+  resolver::ResolverConfig cfg;
+  cfg.root_servers = {Endpoint{kRootAddr, 53}};
+  return cfg;
+}
+
+TEST(HierarchyEmulation, ResolvesThroughAllLevels) {
+  AuthServer meta = make_meta_server();
+  uint64_t hops = 0;
+  resolver::RecursiveResolver resolver(resolver_config(),
+                                       emulated_upstream(meta, &hops));
+  Message r = resolver.resolve(mk("www.google.com"), RRType::A, 0);
+  EXPECT_EQ(r.header.rcode, Rcode::NoError);
+  ASSERT_FALSE(r.answers.empty());
+  const auto* a = r.answers[0].rdata.get_if<dns::AData>();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->addr.to_string(), "172.217.14.4");
+  // Three hierarchy levels -> three upstream round trips: referrals were
+  // NOT short-circuited even though one server hosts everything.
+  EXPECT_EQ(hops, 3u);
+}
+
+TEST(HierarchyEmulation, MatchesIndependentServersExactly) {
+  // The central §2.4 claim: for every level and query, the meta server via
+  // proxies returns the same message an independent server would.
+  AuthServer meta = make_meta_server();
+  IndependentServers independent;
+  auto emulated = emulated_upstream(meta);
+  auto real = independent.upstream();
+
+  struct Case {
+    IpAddr server;
+    const char* qname;
+    RRType qtype;
+  };
+  const Case cases[] = {
+      {kRootAddr, "www.google.com", RRType::A},     // root referral
+      {kRootAddr, "com", RRType::NS},               // root answer
+      {kComAddr, "www.google.com", RRType::A},      // com referral
+      {kGoogleAddr, "www.google.com", RRType::A},   // leaf answer
+      {kGoogleAddr, "mail.google.com", RRType::A},  // CNAME
+      {kGoogleAddr, "nope.google.com", RRType::A},  // NXDOMAIN
+      {kRootAddr, "www.google.com", RRType::AAAA},  // referral, other type
+  };
+  for (const auto& c : cases) {
+    Message q = Message::make_query(7, mk(c.qname), c.qtype, false);
+    auto from_meta = emulated(Endpoint{c.server, 53}, q);
+    auto from_real = real(Endpoint{c.server, 53}, q);
+    ASSERT_TRUE(from_meta.ok()) << c.qname;
+    ASSERT_TRUE(from_real.ok()) << c.qname;
+    EXPECT_EQ(from_meta->to_wire(), from_real->to_wire())
+        << "divergence for " << c.qname << " at " << c.server.to_string();
+  }
+}
+
+TEST(HierarchyEmulation, EndToEndMatchesIndependentResolution) {
+  AuthServer meta = make_meta_server();
+  IndependentServers independent;
+  resolver::RecursiveResolver emu_resolver(resolver_config(), emulated_upstream(meta));
+  resolver::RecursiveResolver real_resolver(resolver_config(), independent.upstream());
+
+  for (const char* qname : {"www.google.com", "mail.google.com", "ns1.google.com",
+                            "missing.google.com"}) {
+    Message emu = emu_resolver.resolve(mk(qname), RRType::A, 0);
+    Message real = real_resolver.resolve(mk(qname), RRType::A, 0);
+    EXPECT_EQ(emu.header.rcode, real.header.rcode) << qname;
+    EXPECT_EQ(emu.answers.size(), real.answers.size()) << qname;
+  }
+}
+
+TEST(HierarchyEmulation, NaiveSingleServerShortCircuits) {
+  // The failure mode motivating the whole design: all zones in ONE view on
+  // one server. A query meant for the root finds the deepest zone and
+  // answers directly — no referral chain, wrong behaviour.
+  AuthServer naive;
+  auto& zones = naive.default_zones();
+  ASSERT_TRUE(zones.add(parse(kRootZone)).ok());
+  ASSERT_TRUE(zones.add(parse(kComZone)).ok());
+  ASSERT_TRUE(zones.add(parse(kGoogleZone)).ok());
+
+  Message q = Message::make_query(1, mk("www.google.com"), RRType::A, false);
+  Message naive_reply = naive.answer(q, kRootAddr);
+  // Direct final answer instead of a root referral:
+  EXPECT_TRUE(naive_reply.header.aa);
+  EXPECT_FALSE(naive_reply.answers.empty());
+
+  // Whereas the meta server with views correctly refers.
+  AuthServer meta = make_meta_server();
+  Message meta_reply = meta.answer(q, kRootAddr);
+  EXPECT_FALSE(meta_reply.header.aa);
+  EXPECT_TRUE(meta_reply.answers.empty());
+  ASSERT_FALSE(meta_reply.authorities.empty());
+  EXPECT_EQ(meta_reply.authorities[0].name, mk("com"));
+}
+
+TEST(HierarchyEmulation, ZonesRebuiltFromTraceDriveEmulation) {
+  // Close the loop with the zone constructor: resolve against independent
+  // servers while capturing the upstream responses, rebuild zones from the
+  // capture (§2.3), load them into a meta server (§2.4), and check the
+  // rebuilt hierarchy answers the original query identically.
+  IndependentServers independent;
+  std::vector<trace::TraceRecord> capture;
+  auto capturing_upstream = [&](const Endpoint& server,
+                                const Message& q) -> Result<Message> {
+    auto real = independent.upstream();
+    auto resp = real(server, q);
+    if (resp.ok()) {
+      capture.push_back(trace::make_query_record(
+          0, Endpoint{server.addr, 53}, Endpoint{kRecursiveAddr, 42001}, *resp));
+    }
+    return resp;
+  };
+  resolver::RecursiveResolver capture_resolver(resolver_config(), capturing_upstream);
+  Message original = capture_resolver.resolve(mk("www.google.com"), RRType::A, 0);
+  ASSERT_EQ(original.header.rcode, Rcode::NoError);
+
+  auto built = zonecut::build_zones(capture);
+  ASSERT_TRUE(built.ok()) << built.error().message;
+
+  // Wire the rebuilt zones into a meta server: one view per zone's server
+  // group, reusing the reported nameserver addresses.
+  AuthServer meta;
+  std::map<std::string, zone::View*> views_by_addr;
+  for (const auto& [origin, servers] : built->zone_servers) {
+    ASSERT_FALSE(servers.empty()) << origin.to_string();
+    std::string key = servers[0].to_string();
+    auto it = views_by_addr.find(key);
+    if (it == views_by_addr.end()) {
+      zone::View& v = meta.views().add_view(key);
+      for (const auto& addr : servers) v.match_clients.insert(addr);
+      it = views_by_addr.emplace(key, &v).first;
+    }
+    const zone::Zone* z = built->zones.find_exact(origin);
+    ASSERT_NE(z, nullptr);
+    ASSERT_TRUE(it->second->zones.add(*z).ok());
+  }
+
+  resolver::RecursiveResolver emu_resolver(resolver_config(), emulated_upstream(meta));
+  Message replayed = emu_resolver.resolve(mk("www.google.com"), RRType::A, 0);
+  EXPECT_EQ(replayed.header.rcode, Rcode::NoError);
+  ASSERT_FALSE(replayed.answers.empty());
+  const auto* a = replayed.answers[0].rdata.get_if<dns::AData>();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->addr.to_string(), "172.217.14.4");
+}
+
+}  // namespace
+}  // namespace ldp

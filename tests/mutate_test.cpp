@@ -1,0 +1,198 @@
+// Tests for the query mutator: each what-if building block, stacking,
+// filtering, time manipulation, and malformed-payload handling.
+#include <gtest/gtest.h>
+
+#include "mutate/mutator.hpp"
+#include "synth/generator.hpp"
+
+namespace ldp::mutate {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::RRType;
+using trace::Direction;
+using trace::TraceRecord;
+
+TraceRecord query_record(TimeNs t, std::string_view qname,
+                         Transport transport = Transport::Udp) {
+  Message q = Message::make_query(1, *Name::parse(qname), RRType::A);
+  return trace::make_query_record(t, Endpoint{IpAddr{Ip4{10, 0, 0, 1}}, 40000},
+                                  Endpoint{IpAddr{Ip4{10, 0, 0, 53}}, 53}, q,
+                                  transport);
+}
+
+TEST(Mutator, ForceTransportAllTcp) {
+  // The §5.2 experiment: every query becomes TCP, payload untouched.
+  MutatorPipeline pipe;
+  pipe.force_transport(Transport::Tcp);
+  auto rec = query_record(0, "a.example");
+  auto payload_before = rec.dns_payload;
+  ASSERT_TRUE(pipe.apply(rec).ok());
+  EXPECT_EQ(rec.transport, Transport::Tcp);
+  EXPECT_EQ(rec.dns_payload, payload_before);
+}
+
+TEST(Mutator, EnableDnssecAddsEdnsAndDo) {
+  // The §5.1 experiment: 100% DO-bit queries.
+  MutatorPipeline pipe;
+  pipe.enable_dnssec(4096);
+  auto rec = query_record(0, "a.example");
+  ASSERT_TRUE(pipe.apply(rec).ok());
+  auto msg = rec.message();
+  ASSERT_TRUE(msg.ok());
+  ASSERT_TRUE(msg->edns.has_value());
+  EXPECT_TRUE(msg->edns->dnssec_ok);
+  EXPECT_EQ(msg->edns->udp_payload_size, 4096);
+}
+
+TEST(Mutator, EnableDnssecKeepsExistingEdnsSize) {
+  Message q = Message::make_query(1, *Name::parse("a.example"), RRType::A);
+  dns::Edns e;
+  e.udp_payload_size = 1232;
+  q.edns = e;
+  auto rec = trace::make_query_record(0, Endpoint{IpAddr{Ip4{1, 1, 1, 1}}, 1},
+                                      Endpoint{IpAddr{Ip4{2, 2, 2, 2}}, 53}, q);
+  MutatorPipeline pipe;
+  pipe.enable_dnssec(4096);
+  ASSERT_TRUE(pipe.apply(rec).ok());
+  auto msg = rec.message();
+  EXPECT_EQ(msg->edns->udp_payload_size, 1232);  // existing size respected
+  EXPECT_TRUE(msg->edns->dnssec_ok);
+}
+
+TEST(Mutator, StripEdns) {
+  MutatorPipeline add, strip;
+  add.enable_dnssec();
+  strip.strip_edns();
+  auto rec = query_record(0, "a.example");
+  ASSERT_TRUE(add.apply(rec).ok());
+  ASSERT_TRUE(strip.apply(rec).ok());
+  auto msg = rec.message();
+  EXPECT_FALSE(msg->edns.has_value());
+}
+
+TEST(Mutator, PrefixQnames) {
+  // The §4.2 validation trick: unique prefix to match replays to originals.
+  MutatorPipeline pipe;
+  pipe.prefix_qnames("replay01");
+  auto rec = query_record(0, "www.example.com");
+  ASSERT_TRUE(pipe.apply(rec).ok());
+  auto msg = rec.message();
+  EXPECT_EQ(msg->questions[0].qname.to_string(), "replay01.www.example.com.");
+}
+
+TEST(Mutator, ForceQtypeAndRd) {
+  MutatorPipeline pipe;
+  pipe.force_qtype(RRType::AAAA).set_recursion_desired(false);
+  auto rec = query_record(0, "x.example");
+  ASSERT_TRUE(pipe.apply(rec).ok());
+  auto msg = rec.message();
+  EXPECT_EQ(msg->questions[0].qtype, RRType::AAAA);
+  EXPECT_FALSE(msg->header.rd);
+}
+
+TEST(Mutator, ScaleTimeDoublesRate) {
+  MutatorPipeline pipe;
+  pipe.scale_time(0.5);  // half the gaps -> double the rate
+  std::vector<TraceRecord> recs;
+  for (int i = 0; i < 4; ++i) recs.push_back(query_record(i * kSecond, "a.example"));
+  auto out = pipe.apply_all(std::move(recs));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].timestamp, 0);
+  EXPECT_EQ(out[1].timestamp, kSecond / 2);
+  EXPECT_EQ(out[3].timestamp, 3 * kSecond / 2);
+}
+
+TEST(Mutator, RebaseTime) {
+  MutatorPipeline pipe;
+  pipe.rebase_time(100 * kSecond);
+  std::vector<TraceRecord> recs;
+  recs.push_back(query_record(7 * kSecond, "a.example"));
+  recs.push_back(query_record(9 * kSecond, "a.example"));
+  auto out = pipe.apply_all(std::move(recs));
+  EXPECT_EQ(out[0].timestamp, 100 * kSecond);
+  EXPECT_EQ(out[1].timestamp, 102 * kSecond);
+}
+
+TEST(Mutator, FilterDropsNonMatching) {
+  MutatorPipeline pipe;
+  pipe.filter([](const TraceRecord&, const Message& msg) {
+    return msg.questions[0].qtype == RRType::A;
+  });
+  std::vector<TraceRecord> recs;
+  recs.push_back(query_record(0, "keep.example"));
+  auto dropped = query_record(1, "drop.example");
+  {
+    MutatorPipeline to_aaaa;
+    to_aaaa.force_qtype(RRType::AAAA);
+    EXPECT_TRUE(to_aaaa.apply(dropped).ok());
+  }
+  recs.push_back(dropped);
+  auto out = pipe.apply_all(std::move(recs));
+  ASSERT_EQ(out.size(), 1u);
+  auto msg = out[0].message();
+  EXPECT_EQ(msg->questions[0].qname.to_string(), "keep.example.");
+}
+
+TEST(Mutator, StackedEditsDecodeOnce) {
+  MutatorPipeline pipe;
+  pipe.enable_dnssec().prefix_qnames("p").force_transport(Transport::Tls);
+  auto rec = query_record(0, "multi.example");
+  ASSERT_TRUE(pipe.apply(rec).ok());
+  EXPECT_EQ(rec.transport, Transport::Tls);
+  auto msg = rec.message();
+  EXPECT_TRUE(msg->edns->dnssec_ok);
+  EXPECT_EQ(msg->questions[0].qname.label(0), "p");
+}
+
+TEST(Mutator, MalformedPayloadReportedNotCrash) {
+  MutatorPipeline pipe;
+  pipe.enable_dnssec();
+  TraceRecord junk;
+  junk.dns_payload = {1, 2, 3};
+  auto verdict = pipe.apply(junk);
+  EXPECT_FALSE(verdict.ok());
+
+  std::vector<TraceRecord> recs;
+  recs.push_back(query_record(0, "good.example"));
+  recs.push_back(junk);
+  size_t malformed = 0;
+  auto out = pipe.apply_all(std::move(recs), &malformed);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(malformed, 1u);
+}
+
+TEST(Mutator, RecordEditsNeedNoDecode) {
+  // A transport-only pipeline must pass undecodable payloads through
+  // untouched (pure record-level edit).
+  MutatorPipeline pipe;
+  pipe.force_transport(Transport::Tcp);
+  TraceRecord junk;
+  junk.dns_payload = {1, 2, 3};
+  auto verdict = pipe.apply(junk);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(junk.transport, Transport::Tcp);
+}
+
+TEST(Mutator, WholeTraceDnssecConversion) {
+  // Mutate a synthetic root trace from 72.3% DO to 100% DO — the exact
+  // transformation of §5.1 — and verify the resulting mix.
+  synth::RootTraceSpec spec;
+  spec.mean_rate_qps = 500;
+  spec.duration_ns = 5 * kSecond;
+  spec.seed = 2;
+  auto recs = synth::make_root_trace(spec);
+  MutatorPipeline pipe;
+  pipe.enable_dnssec();
+  auto out = pipe.apply_all(std::move(recs));
+  for (const auto& rec : out) {
+    auto msg = rec.message();
+    ASSERT_TRUE(msg.ok());
+    ASSERT_TRUE(msg->edns.has_value());
+    EXPECT_TRUE(msg->edns->dnssec_ok);
+  }
+}
+
+}  // namespace
+}  // namespace ldp::mutate

@@ -1,0 +1,233 @@
+// Property-style sweeps over core invariants: replay-clock arithmetic,
+// simulator ordering under random schedules, queue correctness under
+// concurrency, EDNS details, and zone print/parse round-trips on randomly
+// generated zones.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dns/message.hpp"
+#include "replay/schedule.hpp"
+#include "simnet/sim.hpp"
+#include "util/queue.hpp"
+#include "util/rng.hpp"
+#include "zone/parser.hpp"
+
+namespace ldp {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::RRType;
+
+// --- ReplayClock: ΔT arithmetic holds for arbitrary offsets -----------------
+
+class ClockProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClockProperty, DelayIdentities) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 1000; ++i) {
+    TimeNs trace0 = static_cast<TimeNs>(rng.uniform(0, 1'000'000'000'000ull));
+    TimeNs real0 = static_cast<TimeNs>(rng.uniform(0, 1'000'000'000'000ull));
+    replay::ReplayClock clock;
+    clock.start(trace0, real0);
+
+    TimeNs dt_trace = static_cast<TimeNs>(rng.uniform(0, 3'600'000'000'000ull));
+    TimeNs dt_real = static_cast<TimeNs>(rng.uniform(0, 3'600'000'000'000ull));
+
+    // ΔT = Δt̄ − Δt (the §2.6 definition).
+    EXPECT_EQ(clock.delay_for(trace0 + dt_trace, real0 + dt_real),
+              dt_trace - dt_real);
+    // deadline(t̄) - real_now == delay(t̄, real_now).
+    EXPECT_EQ(clock.deadline_for(trace0 + dt_trace) - (real0 + dt_real),
+              clock.delay_for(trace0 + dt_trace, real0 + dt_real));
+    // Replaying exactly on schedule leaves zero delay.
+    EXPECT_EQ(clock.delay_for(trace0 + dt_trace, real0 + dt_trace), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClockProperty, ::testing::Range(1, 5));
+
+// --- Simulator: random schedules execute in nondecreasing time order --------
+
+class SimProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimProperty, RandomSchedulesStayOrdered) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  simnet::Simulator sim;
+  std::vector<TimeNs> fired;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    TimeNs t = static_cast<TimeNs>(rng.uniform(0, 1'000'000));
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), static_cast<size_t>(n));
+  for (size_t i = 1; i < fired.size(); ++i) EXPECT_LE(fired[i - 1], fired[i]);
+}
+
+TEST_P(SimProperty, NestedSchedulingKeepsOrder) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  simnet::Simulator sim;
+  std::vector<TimeNs> fired;
+  std::function<void(int)> spawn = [&](int depth) {
+    fired.push_back(sim.now());
+    if (depth > 0) {
+      int children = static_cast<int>(rng.uniform(0, 3));
+      for (int c = 0; c < children; ++c) {
+        sim.schedule_after(static_cast<TimeNs>(rng.uniform(1, 1000)),
+                           [&spawn, depth] { spawn(depth - 1); });
+      }
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(static_cast<TimeNs>(rng.uniform(0, 10000)), [&spawn] { spawn(4); });
+  }
+  sim.run();
+  for (size_t i = 1; i < fired.size(); ++i) EXPECT_LE(fired[i - 1], fired[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimProperty, ::testing::Range(1, 4));
+
+// --- BoundedQueue under real concurrency ------------------------------------
+
+TEST(QueueConcurrency, AllItemsDeliveredExactlyOnce) {
+  BoundedQueue<int> queue(64);
+  const int kProducers = 3, kConsumers = 3, kPerProducer = 5000;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) queue.push(p * kPerProducer + i);
+    });
+  }
+  std::mutex mu;
+  std::vector<int> received;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &mu, &received] {
+      while (true) {
+        auto item = queue.pop();
+        if (!item.has_value()) return;
+        std::lock_guard lock(mu);
+        received.push_back(*item);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  ASSERT_EQ(received.size(), static_cast<size_t>(kProducers * kPerProducer));
+  std::sort(received.begin(), received.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) EXPECT_EQ(received[i], i);
+}
+
+// --- EDNS corners -------------------------------------------------------------
+
+TEST(EdnsDetail, OptionsBytesRoundTrip) {
+  Message q = Message::make_query(5, *Name::parse("x.example"), RRType::A);
+  dns::Edns e;
+  e.udp_payload_size = 1232;
+  // A cookie-like option: code 10, length 8, data.
+  ByteWriter opt;
+  opt.u16(10);
+  opt.u16(8);
+  for (int i = 0; i < 8; ++i) opt.u8(static_cast<uint8_t>(i));
+  e.options = std::vector<uint8_t>(opt.data().begin(), opt.data().end());
+  q.edns = e;
+
+  auto back = Message::from_wire(q.to_wire());
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(back->edns.has_value());
+  EXPECT_EQ(back->edns->options, e.options);
+}
+
+TEST(EdnsDetail, ExtendedRcodeMergesIntoHeader) {
+  // Build a message whose OPT carries extended-rcode bits (e.g. BADVERS=16:
+  // extended byte 1, header nibble 0).
+  Message m;
+  m.header.qr = true;
+  dns::Edns e;
+  e.extended_rcode = 1;
+  m.edns = e;
+  auto back = Message::from_wire(m.to_wire());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(static_cast<int>(back->header.rcode), 16);
+}
+
+// --- random zones print/parse round-trip --------------------------------------
+
+class ZoneProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZoneProperty, GeneratedZonesRoundTripThroughText) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int iter = 0; iter < 20; ++iter) {
+    zone::Zone z(*Name::parse("prop.example"));
+    ASSERT_TRUE(z.add(dns::ResourceRecord{
+                          *Name::parse("prop.example"), RRType::SOA, dns::RRClass::IN,
+                          3600,
+                          dns::Rdata{dns::SoaData{*Name::parse("ns1.prop.example"),
+                                                  *Name::parse("admin.prop.example"),
+                                                  1, 2, 3, 4, 5}}})
+                    .ok());
+    int records = static_cast<int>(rng.uniform(1, 40));
+    for (int r = 0; r < records; ++r) {
+      std::string label;
+      for (int c = 0; c < static_cast<int>(rng.uniform(1, 10)); ++c)
+        label += static_cast<char>('a' + rng.uniform(0, 25));
+      Name owner = *(*Name::parse("prop.example")).with_prefix_label(label);
+      dns::Rdata rdata;
+      RRType type;
+      switch (rng.uniform(0, 4)) {
+        case 0:
+          type = RRType::A;
+          rdata = dns::Rdata{dns::AData{Ip4{static_cast<uint32_t>(rng.next_u64())}}};
+          break;
+        case 1:
+          type = RRType::TXT;
+          rdata = dns::Rdata{dns::TxtData{{label}}};
+          break;
+        case 2:
+          type = RRType::MX;
+          rdata = dns::Rdata{dns::MxData{static_cast<uint16_t>(rng.uniform(0, 100)),
+                                         *Name::parse("mail.prop.example")}};
+          break;
+        case 3: {
+          type = RRType::AAAA;
+          std::array<uint8_t, 16> b{};
+          for (auto& v : b) v = static_cast<uint8_t>(rng.uniform(0, 255));
+          rdata = dns::Rdata{dns::AaaaData{Ip6{b}}};
+          break;
+        }
+        default:
+          type = RRType::NS;
+          rdata = dns::Rdata{dns::NameData{*Name::parse("ns1.prop.example")}};
+      }
+      (void)z.add(dns::ResourceRecord{owner, type, dns::RRClass::IN,
+                                      static_cast<uint32_t>(rng.uniform(1, 86400)),
+                                      std::move(rdata)});
+    }
+
+    std::string text = zone::print_zone(z);
+    auto back = zone::parse_zone(text);
+    ASSERT_TRUE(back.ok()) << back.error().message;
+    EXPECT_EQ(back->record_count(), z.record_count());
+    EXPECT_EQ(back->rrset_count(), z.rrset_count());
+    for (const dns::RRset* set : z.all_rrsets()) {
+      const dns::RRset* other = back->find(set->name, set->type);
+      ASSERT_NE(other, nullptr) << set->name.to_string();
+      EXPECT_EQ(other->ttl, set->ttl);
+      // rdata equality as sets.
+      for (const auto& rd : set->rdatas) {
+        EXPECT_NE(std::find(other->rdatas.begin(), other->rdatas.end(), rd),
+                  other->rdatas.end());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZoneProperty, ::testing::Range(1, 5));
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,185 @@
+// Tests for TCP stream reassembly in the capture readers: messages spanning
+// segments, multiple messages per segment, split length prefixes,
+// interleaved flows, retransmissions, gaps, and SYN/FIN/RST lifecycle.
+#include <gtest/gtest.h>
+
+#include "trace/packet.hpp"
+#include "trace/pcap.hpp"
+
+namespace ldp::trace {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::RRType;
+
+const Endpoint kClient{IpAddr{Ip4{10, 0, 0, 1}}, 40000};
+const Endpoint kServer{IpAddr{Ip4{10, 0, 0, 2}}, 53};
+
+std::vector<uint8_t> framed(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.push_back(static_cast<uint8_t>(payload.size() >> 8));
+  out.push_back(static_cast<uint8_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<uint8_t> sample_payload(uint16_t id) {
+  return Message::make_query(id, *Name::parse("r.example.com"), RRType::A).to_wire();
+}
+
+TcpSegment seg(uint32_t seq, std::vector<uint8_t> bytes, TimeNs t = 0) {
+  TcpSegment s;
+  s.src = kClient;
+  s.dst = kServer;
+  s.seq = seq;
+  s.payload = std::move(bytes);
+  s.timestamp = t;
+  return s;
+}
+
+TEST(Reassembly, MessageSpanningThreeSegments) {
+  TcpReassembler r;
+  auto wire = framed(sample_payload(1));
+  size_t third = wire.size() / 3;
+
+  auto out1 = r.feed(seg(1, {wire.begin(), wire.begin() + third}));
+  EXPECT_TRUE(out1.empty());
+  auto out2 = r.feed(seg(1 + static_cast<uint32_t>(third),
+                         {wire.begin() + third, wire.begin() + 2 * third}));
+  EXPECT_TRUE(out2.empty());
+  auto out3 = r.feed(seg(1 + static_cast<uint32_t>(2 * third),
+                         {wire.begin() + 2 * third, wire.end()}, 7 * kMilli));
+  ASSERT_EQ(out3.size(), 1u);
+  EXPECT_EQ(out3[0].dns_payload, sample_payload(1));
+  EXPECT_EQ(out3[0].timestamp, 7 * kMilli);  // stamped by the completer
+  EXPECT_EQ(out3[0].transport, Transport::Tcp);
+}
+
+TEST(Reassembly, TwoMessagesInOneSegment) {
+  TcpReassembler r;
+  auto both = framed(sample_payload(1));
+  auto second = framed(sample_payload(2));
+  both.insert(both.end(), second.begin(), second.end());
+  auto out = r.feed(seg(1, both));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].dns_payload, sample_payload(1));
+  EXPECT_EQ(out[1].dns_payload, sample_payload(2));
+}
+
+TEST(Reassembly, LengthPrefixSplitAcrossSegments) {
+  TcpReassembler r;
+  auto wire = framed(sample_payload(3));
+  // First segment carries exactly one byte: half the length prefix.
+  auto out1 = r.feed(seg(1, {wire[0]}));
+  EXPECT_TRUE(out1.empty());
+  auto out2 = r.feed(seg(2, {wire.begin() + 1, wire.end()}));
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0].dns_payload, sample_payload(3));
+}
+
+TEST(Reassembly, InterleavedFlowsStayIndependent) {
+  TcpReassembler r;
+  Endpoint other_client{IpAddr{Ip4{10, 0, 0, 9}}, 41000};
+  auto wire_a = framed(sample_payload(10));
+  auto wire_b = framed(sample_payload(20));
+
+  auto a1 = seg(1, {wire_a.begin(), wire_a.begin() + 5});
+  TcpSegment b1 = seg(1, {wire_b.begin(), wire_b.begin() + 7});
+  b1.src = other_client;
+  auto a2 = seg(6, {wire_a.begin() + 5, wire_a.end()});
+  TcpSegment b2 = seg(8, {wire_b.begin() + 7, wire_b.end()});
+  b2.src = other_client;
+
+  EXPECT_TRUE(r.feed(a1).empty());
+  EXPECT_TRUE(r.feed(b1).empty());
+  EXPECT_EQ(r.active_flows(), 2u);
+  auto out_a = r.feed(a2);
+  ASSERT_EQ(out_a.size(), 1u);
+  EXPECT_EQ(out_a[0].dns_payload, sample_payload(10));
+  auto out_b = r.feed(b2);
+  ASSERT_EQ(out_b.size(), 1u);
+  EXPECT_EQ(out_b[0].dns_payload, sample_payload(20));
+  EXPECT_EQ(out_b[0].src, other_client);
+}
+
+TEST(Reassembly, PureRetransmissionIgnored) {
+  TcpReassembler r;
+  auto wire = framed(sample_payload(4));
+  auto out1 = r.feed(seg(1, wire));
+  ASSERT_EQ(out1.size(), 1u);
+  auto out2 = r.feed(seg(1, wire));  // exact retransmit
+  EXPECT_TRUE(out2.empty());
+  EXPECT_EQ(r.dropped_segments(), 0u);  // retransmits are not "drops"
+}
+
+TEST(Reassembly, PartialOverlapKeepsTail) {
+  TcpReassembler r;
+  auto wire = framed(sample_payload(5));
+  size_t half = wire.size() / 2;
+  EXPECT_TRUE(r.feed(seg(1, {wire.begin(), wire.begin() + half})).empty());
+  // Retransmit from the start but carrying the whole message.
+  auto out = r.feed(seg(1, wire));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dns_payload, sample_payload(5));
+}
+
+TEST(Reassembly, GapDropsSegment) {
+  TcpReassembler r;
+  auto wire = framed(sample_payload(6));
+  EXPECT_TRUE(r.feed(seg(1, {wire.begin(), wire.begin() + 4})).empty());
+  // Jump past missing bytes.
+  auto out = r.feed(seg(100, {wire.begin() + 4, wire.end()}));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(r.dropped_segments(), 1u);
+}
+
+TEST(Reassembly, SynResetsFlowAndConsumesSequence) {
+  TcpReassembler r;
+  TcpSegment syn = seg(1000, {});
+  syn.syn = true;
+  EXPECT_TRUE(r.feed(syn).empty());
+  // First data at ISN+1.
+  auto out = r.feed(seg(1001, framed(sample_payload(7))));
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(Reassembly, FinAndRstCloseFlows) {
+  TcpReassembler r;
+  auto wire = framed(sample_payload(8));
+  TcpSegment data = seg(1, wire);
+  data.fin = true;
+  auto out = r.feed(data);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(r.active_flows(), 0u);
+
+  TcpSegment rst = seg(1, {});
+  rst.rst = true;
+  EXPECT_TRUE(r.feed(rst).empty());
+  EXPECT_EQ(r.active_flows(), 0u);
+}
+
+TEST(Reassembly, PcapReaderHandlesMultipleTcpMessagesPerFlow) {
+  // End-to-end through the pcap writer/reader: 10 TCP messages on one flow
+  // must all survive (the writer allocates cumulative sequence numbers).
+  PcapWriter w;
+  for (uint16_t i = 0; i < 10; ++i) {
+    TraceRecord rec;
+    rec.timestamp = i * kMilli;
+    rec.src = kClient;
+    rec.dst = kServer;
+    rec.transport = Transport::Tcp;
+    rec.direction = Direction::Query;
+    rec.dns_payload = sample_payload(i);
+    w.add(rec);
+  }
+  auto reader = PcapReader::from_bytes(std::move(w).take());
+  ASSERT_TRUE(reader.ok());
+  auto all = reader->read_all();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 10u);
+  for (uint16_t i = 0; i < 10; ++i) EXPECT_EQ((*all)[i].dns_payload, sample_payload(i));
+}
+
+}  // namespace
+}  // namespace ldp::trace

@@ -1,0 +1,352 @@
+// Tests for the iterative resolver: full hierarchy walks, caching (positive
+// and negative), CNAME chasing across zones, glueless delegations, lame
+// servers, and budget exhaustion.
+#include <gtest/gtest.h>
+
+#include "resolver/resolver.hpp"
+#include "server/auth_server.hpp"
+#include "zone/parser.hpp"
+
+namespace ldp::resolver {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+using server::AuthServer;
+
+Name mk(std::string_view s) { return *Name::parse(s); }
+
+const IpAddr kRootAddr{Ip4{198, 41, 0, 4}};
+const IpAddr kComAddr{Ip4{192, 5, 6, 30}};
+const IpAddr kExampleAddr{Ip4{192, 0, 2, 1}};
+
+/// A miniature internet: three independent authoritative servers, routed by
+/// destination address — the "real world" a resolver walks.
+struct MiniInternet {
+  AuthServer root;
+  AuthServer com;
+  AuthServer example;
+  uint64_t queries_sent = 0;
+
+  MiniInternet() {
+    auto root_zone = zone::parse_zone(R"(
+$ORIGIN .
+$TTL 86400
+. IN SOA a.root-servers.net. nstld.example. 1 1800 900 604800 86400
+. IN NS a.root-servers.net.
+a.root-servers.net. IN A 198.41.0.4
+com. IN NS a.gtld-servers.net.
+a.gtld-servers.net. IN A 192.5.6.30
+)");
+    EXPECT_TRUE(root_zone.ok());
+    EXPECT_TRUE(root.default_zones().add(std::move(*root_zone)).ok());
+
+    auto com_zone = zone::parse_zone(R"(
+$ORIGIN com.
+$TTL 172800
+@ IN SOA a.gtld-servers.net. nstld.example. 1 1800 900 604800 86400
+@ IN NS a.gtld-servers.net.
+example.com. IN NS ns1.example.com.
+ns1.example.com. IN A 192.0.2.1
+glueless.com. IN NS ns1.example.com.
+)");
+    EXPECT_TRUE(com_zone.ok());
+    EXPECT_TRUE(com.default_zones().add(std::move(*com_zone)).ok());
+
+    auto example_zone = zone::parse_zone(R"(
+$ORIGIN example.com.
+$TTL 3600
+@ IN SOA ns1 admin 1 7200 900 1209600 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+www IN A 192.0.2.80
+www IN A 192.0.2.81
+alias IN CNAME www
+short IN A 192.0.2.99
+)");
+    EXPECT_TRUE(example_zone.ok());
+    EXPECT_TRUE(example.default_zones().add(std::move(*example_zone)).ok());
+
+    auto glueless_zone = zone::parse_zone(R"(
+$ORIGIN glueless.com.
+$TTL 3600
+@ IN SOA ns1.example.com. admin.glueless.com. 1 7200 900 1209600 300
+@ IN NS ns1.example.com.
+www IN A 203.0.113.5
+)");
+    EXPECT_TRUE(glueless_zone.ok());
+    EXPECT_TRUE(example.default_zones().add(std::move(*glueless_zone)).ok());
+  }
+
+  RecursiveResolver::Upstream upstream() {
+    return [this](const Endpoint& server, const Message& q) -> Result<Message> {
+      ++queries_sent;
+      if (server.addr == kRootAddr) return root.answer(q, IpAddr{Ip4{10, 0, 0, 2}});
+      if (server.addr == kComAddr) return com.answer(q, IpAddr{Ip4{10, 0, 0, 2}});
+      if (server.addr == kExampleAddr)
+        return example.answer(q, IpAddr{Ip4{10, 0, 0, 2}});
+      return Err("no route to " + server.to_string());
+    };
+  }
+
+  ResolverConfig config() {
+    ResolverConfig cfg;
+    cfg.root_servers = {Endpoint{kRootAddr, 53}};
+    return cfg;
+  }
+};
+
+TEST(Resolver, FullIterativeWalk) {
+  MiniInternet net;
+  RecursiveResolver resolver(net.config(), net.upstream());
+  Message r = resolver.resolve(mk("www.example.com"), RRType::A, 0);
+  EXPECT_EQ(r.header.rcode, Rcode::NoError);
+  EXPECT_TRUE(r.header.ra);
+  ASSERT_EQ(r.answers.size(), 2u);  // two A records
+  // Walked root -> com -> example: exactly 3 upstream queries.
+  EXPECT_EQ(resolver.stats().upstream_queries, 3u);
+}
+
+TEST(Resolver, CachedSecondQueryNeedsNoUpstream) {
+  MiniInternet net;
+  RecursiveResolver resolver(net.config(), net.upstream());
+  resolver.resolve(mk("www.example.com"), RRType::A, 0);
+  uint64_t after_first = resolver.stats().upstream_queries;
+  Message r = resolver.resolve(mk("www.example.com"), RRType::A, kSecond);
+  EXPECT_EQ(r.header.rcode, Rcode::NoError);
+  EXPECT_EQ(resolver.stats().upstream_queries, after_first);  // pure cache
+  EXPECT_EQ(resolver.stats().cache_answers, 1u);
+}
+
+TEST(Resolver, DelegationCacheShortcutsSiblings) {
+  MiniInternet net;
+  RecursiveResolver resolver(net.config(), net.upstream());
+  resolver.resolve(mk("www.example.com"), RRType::A, 0);
+  uint64_t after_first = resolver.stats().upstream_queries;
+  // Sibling name in the same zone: only 1 more upstream query (straight to
+  // ns1.example.com, no root/com revisit).
+  resolver.resolve(mk("short.example.com"), RRType::A, kSecond);
+  EXPECT_EQ(resolver.stats().upstream_queries, after_first + 1);
+}
+
+TEST(Resolver, CacheExpiryForcesRewalk) {
+  MiniInternet net;
+  RecursiveResolver resolver(net.config(), net.upstream());
+  resolver.resolve(mk("www.example.com"), RRType::A, 0);
+  uint64_t after_first = resolver.stats().upstream_queries;
+  // Answer TTL is 3600s; at t=4000s the answer and example's zone data have
+  // expired (com's delegation of example.com lives 172800s).
+  resolver.resolve(mk("www.example.com"), RRType::A, 4000 * kSecond);
+  EXPECT_GT(resolver.stats().upstream_queries, after_first);
+}
+
+TEST(Resolver, NxDomainCachedNegatively) {
+  MiniInternet net;
+  RecursiveResolver resolver(net.config(), net.upstream());
+  Message r1 = resolver.resolve(mk("missing.example.com"), RRType::A, 0);
+  EXPECT_EQ(r1.header.rcode, Rcode::NXDomain);
+  uint64_t after_first = resolver.stats().upstream_queries;
+  Message r2 = resolver.resolve(mk("missing.example.com"), RRType::A, kSecond);
+  EXPECT_EQ(r2.header.rcode, Rcode::NXDomain);
+  EXPECT_EQ(resolver.stats().upstream_queries, after_first);  // negative hit
+}
+
+TEST(Resolver, CnameChasedAcrossLookups) {
+  MiniInternet net;
+  RecursiveResolver resolver(net.config(), net.upstream());
+  Message r = resolver.resolve(mk("alias.example.com"), RRType::A, 0);
+  EXPECT_EQ(r.header.rcode, Rcode::NoError);
+  bool has_cname = false, has_a = false;
+  for (const auto& rr : r.answers) {
+    if (rr.type == RRType::CNAME) has_cname = true;
+    if (rr.type == RRType::A) has_a = true;
+  }
+  EXPECT_TRUE(has_cname);
+  EXPECT_TRUE(has_a);
+}
+
+TEST(Resolver, GluelessDelegationResolved) {
+  MiniInternet net;
+  RecursiveResolver resolver(net.config(), net.upstream());
+  Message r = resolver.resolve(mk("www.glueless.com"), RRType::A, 0);
+  EXPECT_EQ(r.header.rcode, Rcode::NoError);
+  ASSERT_FALSE(r.answers.empty());
+  const auto* a = r.answers[0].rdata.get_if<dns::AData>();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->addr.to_string(), "203.0.113.5");
+}
+
+TEST(Resolver, UnreachableServersGiveServfail) {
+  ResolverConfig cfg;
+  cfg.root_servers = {Endpoint{IpAddr{Ip4{203, 0, 113, 99}}, 53}};
+  RecursiveResolver resolver(cfg, [](const Endpoint&, const Message&) -> Result<Message> {
+    return Err("timeout");
+  });
+  Message r = resolver.resolve(mk("x.example"), RRType::A, 0);
+  EXPECT_EQ(r.header.rcode, Rcode::ServFail);
+  EXPECT_EQ(resolver.stats().servfail, 1u);
+}
+
+TEST(Resolver, BudgetCapsRunawayIteration) {
+  // A malicious upstream that always refers deeper without making progress
+  // possible: budget must stop the loop.
+  ResolverConfig cfg;
+  cfg.root_servers = {Endpoint{IpAddr{Ip4{1, 1, 1, 1}}, 53}};
+  cfg.max_upstream_queries = 10;
+  int calls = 0;
+  RecursiveResolver resolver(
+      cfg, [&calls](const Endpoint&, const Message& q) -> Result<Message> {
+        ++calls;
+        Message r = Message::make_response(q);
+        // Self-referral: NS for the same zone, same glue, forever.
+        r.authorities.push_back(dns::ResourceRecord{
+            mk("example"), RRType::NS, dns::RRClass::IN, 60,
+            dns::Rdata{dns::NameData{mk("ns.example")}}});
+        r.additionals.push_back(dns::ResourceRecord{
+            mk("ns.example"), RRType::A, dns::RRClass::IN, 60,
+            dns::Rdata{dns::AData{Ip4{1, 1, 1, 1}}}});
+        return r;
+      });
+  Message r = resolver.resolve(mk("www.example"), RRType::A, 0);
+  EXPECT_EQ(r.header.rcode, Rcode::ServFail);
+  EXPECT_LE(calls, 10);
+}
+
+// --- SRTT-based authority server selection ---------------------------------
+
+TEST(ServerSelection, PrefersFasterServerAfterLearning) {
+  // Two root replicas, one 5 ms away and one 50 ms away (simulated by a
+  // fake RTT clock advanced inside the upstream). After the first probes,
+  // the resolver should settle on the fast one.
+  const IpAddr fast{Ip4{198, 41, 0, 4}};
+  const IpAddr slow{Ip4{198, 41, 0, 5}};
+  TimeNs fake_now = 0;
+
+  MiniInternet net;
+  std::map<std::string, int> hits;
+  auto upstream = [&](const Endpoint& server, const Message& q) -> Result<Message> {
+    ++hits[server.addr.to_string()];
+    fake_now += server.addr == fast ? 5 * kMilli : 50 * kMilli;
+    return net.root.answer(q, IpAddr{Ip4{10, 0, 0, 2}});
+  };
+
+  ResolverConfig cfg;
+  cfg.root_servers = {Endpoint{slow, 53}, Endpoint{fast, 53}};
+  cfg.rtt_clock = [&fake_now] { return fake_now; };
+  RecursiveResolver resolver(cfg, upstream);
+
+  // Unique junk TLDs defeat the cache, forcing a root query per resolve.
+  for (int i = 0; i < 20; ++i) {
+    resolver.resolve(mk("tld" + std::to_string(i)), RRType::NS, 0);
+  }
+  ASSERT_TRUE(resolver.srtt(fast).has_value());
+  ASSERT_TRUE(resolver.srtt(slow).has_value());
+  EXPECT_LT(*resolver.srtt(fast), *resolver.srtt(slow));
+  // Both were probed (exploration), but the fast one dominates.
+  EXPECT_GT(hits[fast.to_string()], hits[slow.to_string()]);
+  EXPECT_GT(hits[fast.to_string()], 12);
+}
+
+TEST(ServerSelection, FailuresSinkAServer) {
+  const IpAddr good{Ip4{198, 41, 0, 4}};
+  const IpAddr lame{Ip4{198, 41, 0, 6}};
+  TimeNs fake_now = 0;
+
+  MiniInternet net;
+  int lame_hits = 0;
+  auto upstream = [&](const Endpoint& server, const Message& q) -> Result<Message> {
+    fake_now += 5 * kMilli;
+    if (server.addr == lame) {
+      ++lame_hits;
+      return Err("timeout");
+    }
+    return net.root.answer(q, IpAddr{Ip4{10, 0, 0, 2}});
+  };
+
+  ResolverConfig cfg;
+  cfg.root_servers = {Endpoint{lame, 53}, Endpoint{good, 53}};
+  cfg.rtt_clock = [&fake_now] { return fake_now; };
+  RecursiveResolver resolver(cfg, upstream);
+
+  for (int i = 0; i < 10; ++i) {
+    Message r = resolver.resolve(mk("x" + std::to_string(i)), RRType::NS, 0);
+    EXPECT_NE(r.header.rcode, Rcode::ServFail);  // good server covers
+  }
+  // The lame server is probed early, then avoided (penalty >= 100 ms).
+  EXPECT_LE(lame_hits, 2);
+  ASSERT_TRUE(resolver.srtt(lame).has_value());
+  EXPECT_GE(*resolver.srtt(lame), 100 * kMilli);
+}
+
+TEST(ServerSelection, InOrderStrategyIgnoresSrtt) {
+  const IpAddr first{Ip4{198, 41, 0, 4}};
+  const IpAddr second{Ip4{198, 41, 0, 5}};
+  TimeNs fake_now = 0;
+  MiniInternet net;
+  std::map<std::string, int> hits;
+  auto upstream = [&](const Endpoint& server, const Message& q) -> Result<Message> {
+    ++hits[server.addr.to_string()];
+    // First server is much slower; InOrder must keep using it anyway.
+    fake_now += server.addr == first ? 80 * kMilli : kMilli;
+    return net.root.answer(q, IpAddr{Ip4{10, 0, 0, 2}});
+  };
+  ResolverConfig cfg;
+  cfg.root_servers = {Endpoint{first, 53}, Endpoint{second, 53}};
+  cfg.selection = ResolverConfig::ServerSelection::InOrder;
+  cfg.rtt_clock = [&fake_now] { return fake_now; };
+  RecursiveResolver resolver(cfg, upstream);
+  for (int i = 0; i < 10; ++i)
+    resolver.resolve(mk("y" + std::to_string(i)), RRType::NS, 0);
+  EXPECT_EQ(hits[second.to_string()], 0);
+}
+
+TEST(DnsCacheT, PositiveExpiry) {
+  DnsCache cache;
+  dns::RRset set;
+  set.name = mk("x.example");
+  set.type = RRType::A;
+  set.ttl = 60;
+  set.rdatas.push_back(dns::Rdata{dns::AData{Ip4{1, 2, 3, 4}}});
+  cache.put(set, 0);
+  EXPECT_NE(cache.get(mk("x.example"), RRType::A, 59 * kSecond), nullptr);
+  EXPECT_EQ(cache.get(mk("x.example"), RRType::A, 61 * kSecond), nullptr);
+}
+
+TEST(DnsCacheT, NegativeNxDomainCoversAllTypes) {
+  DnsCache cache;
+  cache.put_negative(mk("gone.example"), RRType::A, true, 300, 0);
+  EXPECT_EQ(cache.get_negative(mk("gone.example"), RRType::A, kSecond),
+            NegativeState::NxDomain);
+  EXPECT_EQ(cache.get_negative(mk("gone.example"), RRType::AAAA, kSecond),
+            NegativeState::NxDomain);
+  EXPECT_EQ(cache.get_negative(mk("gone.example"), RRType::A, 301 * kSecond),
+            NegativeState::None);
+}
+
+TEST(DnsCacheT, NoDataIsPerType) {
+  DnsCache cache;
+  cache.put_negative(mk("x.example"), RRType::AAAA, false, 300, 0);
+  EXPECT_EQ(cache.get_negative(mk("x.example"), RRType::AAAA, kSecond),
+            NegativeState::NoData);
+  EXPECT_EQ(cache.get_negative(mk("x.example"), RRType::A, kSecond),
+            NegativeState::None);
+}
+
+TEST(DnsCacheT, PurgeRemovesExpired) {
+  DnsCache cache;
+  dns::RRset set;
+  set.name = mk("x.example");
+  set.type = RRType::A;
+  set.ttl = 10;
+  set.rdatas.push_back(dns::Rdata{dns::AData{Ip4{1, 2, 3, 4}}});
+  cache.put(set, 0);
+  cache.put_negative(mk("y.example"), RRType::A, true, 10, 0);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.purge(11 * kSecond);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ldp::resolver

@@ -1,0 +1,269 @@
+// Tests for the authoritative server core: response classification, views,
+// CNAME chasing, error rcodes, truncation, and the DNSSEC response-size
+// model behind Figure 10.
+#include <gtest/gtest.h>
+
+#include "server/auth_server.hpp"
+#include "zone/parser.hpp"
+
+namespace ldp::server {
+namespace {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+
+Name mk(std::string_view s) { return *Name::parse(s); }
+
+const IpAddr kClient{Ip4{10, 0, 0, 9}};
+
+constexpr const char* kZoneText = R"(
+$ORIGIN example.com.
+$TTL 3600
+@   IN SOA ns1 admin 1 7200 900 1209600 300
+    IN NS ns1
+ns1 IN A  192.0.2.1
+www IN A  192.0.2.80
+alias IN CNAME www
+chain2 IN CNAME alias
+sub IN NS ns.sub
+ns.sub IN A 192.0.2.100
+big IN TXT "0123456789012345678901234567890123456789012345678901234567890123456789"
+big IN TXT "1123456789012345678901234567890123456789012345678901234567890123456789"
+big IN TXT "2123456789012345678901234567890123456789012345678901234567890123456789"
+big IN TXT "3123456789012345678901234567890123456789012345678901234567890123456789"
+big IN TXT "4123456789012345678901234567890123456789012345678901234567890123456789"
+big IN TXT "5123456789012345678901234567890123456789012345678901234567890123456789"
+big IN TXT "6123456789012345678901234567890123456789012345678901234567890123456789"
+)";
+
+AuthServer make_server(ServerConfig config = {}) {
+  AuthServer server(config);
+  auto z = zone::parse_zone(kZoneText);
+  EXPECT_TRUE(z.ok()) << (z.ok() ? "" : z.error().message);
+  EXPECT_TRUE(server.default_zones().add(std::move(*z)).ok());
+  return server;
+}
+
+TEST(AuthServer, PositiveAnswerIsAuthoritative) {
+  AuthServer s = make_server();
+  Message q = Message::make_query(1, mk("www.example.com"), RRType::A);
+  Message r = s.answer(q, kClient);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_TRUE(r.header.aa);
+  EXPECT_EQ(r.header.rcode, Rcode::NoError);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.header.id, 1);
+}
+
+TEST(AuthServer, CnameChainChasedInZone) {
+  AuthServer s = make_server();
+  Message q = Message::make_query(2, mk("chain2.example.com"), RRType::A);
+  Message r = s.answer(q, kClient);
+  // chain2 -> alias -> www -> A: three answer records.
+  ASSERT_EQ(r.answers.size(), 3u);
+  EXPECT_EQ(r.answers[0].type, RRType::CNAME);
+  EXPECT_EQ(r.answers[1].type, RRType::CNAME);
+  EXPECT_EQ(r.answers[2].type, RRType::A);
+}
+
+TEST(AuthServer, CnameChasingCanBeDisabled) {
+  ServerConfig cfg;
+  cfg.chase_cname = false;
+  AuthServer s = make_server(cfg);
+  Message q = Message::make_query(2, mk("alias.example.com"), RRType::A);
+  Message r = s.answer(q, kClient);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type, RRType::CNAME);
+}
+
+TEST(AuthServer, ReferralIsNotAuthoritative) {
+  AuthServer s = make_server();
+  Message q = Message::make_query(3, mk("host.sub.example.com"), RRType::A);
+  Message r = s.answer(q, kClient);
+  EXPECT_FALSE(r.header.aa);
+  EXPECT_TRUE(r.answers.empty());
+  ASSERT_FALSE(r.authorities.empty());
+  EXPECT_EQ(r.authorities[0].type, RRType::NS);
+  ASSERT_FALSE(r.additionals.empty());  // glue
+}
+
+TEST(AuthServer, NxDomainWithSoa) {
+  AuthServer s = make_server();
+  Message q = Message::make_query(4, mk("missing.example.com"), RRType::A);
+  Message r = s.answer(q, kClient);
+  EXPECT_EQ(r.header.rcode, Rcode::NXDomain);
+  ASSERT_FALSE(r.authorities.empty());
+  EXPECT_EQ(r.authorities[0].type, RRType::SOA);
+  EXPECT_EQ(s.stats().nxdomain.load(), 1u);
+}
+
+TEST(AuthServer, RefusedOutsideZones) {
+  AuthServer s = make_server();
+  Message q = Message::make_query(5, mk("www.other.org"), RRType::A);
+  Message r = s.answer(q, kClient);
+  EXPECT_EQ(r.header.rcode, Rcode::Refused);
+  EXPECT_EQ(s.stats().refused.load(), 1u);
+}
+
+TEST(AuthServer, ViewMatchRestrictsClients) {
+  AuthServer s;
+  auto z = zone::parse_zone(kZoneText);
+  ASSERT_TRUE(z.ok());
+  zone::View& v = s.views().add_view("restricted");
+  v.match_clients.insert(IpAddr{Ip4{198, 41, 0, 4}});
+  ASSERT_TRUE(v.zones.add(std::move(*z)).ok());
+
+  Message q = Message::make_query(6, mk("www.example.com"), RRType::A);
+  // Matching client gets the answer; anyone else REFUSED.
+  EXPECT_EQ(s.answer(q, IpAddr{Ip4{198, 41, 0, 4}}).header.rcode, Rcode::NoError);
+  EXPECT_EQ(s.answer(q, kClient).header.rcode, Rcode::Refused);
+}
+
+TEST(AuthServer, NotImpForNonQuery) {
+  AuthServer s = make_server();
+  Message q = Message::make_query(7, mk("www.example.com"), RRType::A);
+  q.header.opcode = dns::Opcode::Update;
+  EXPECT_EQ(s.answer(q, kClient).header.rcode, Rcode::NotImp);
+}
+
+TEST(AuthServer, FormErrForZeroQuestions) {
+  AuthServer s = make_server();
+  Message q;
+  q.header.id = 8;
+  EXPECT_EQ(s.answer(q, kClient).header.rcode, Rcode::FormErr);
+}
+
+TEST(AuthServer, WireFormerrOnGarbage) {
+  AuthServer s = make_server();
+  std::vector<uint8_t> garbage(16, 0xff);
+  auto reply = s.answer_wire(garbage, kClient, 512);
+  ASSERT_TRUE(reply.has_value());
+  auto parsed = Message::from_wire(*reply);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header.rcode, Rcode::FormErr);
+  EXPECT_EQ(parsed->header.id, 0xffff);  // id salvaged
+
+  std::vector<uint8_t> tiny(4, 0);
+  EXPECT_FALSE(s.answer_wire(tiny, kClient, 512).has_value());
+}
+
+TEST(AuthServer, UdpTruncationAt512) {
+  AuthServer s = make_server();
+  Message q = Message::make_query(9, mk("big.example.com"), RRType::TXT);
+  auto wire_q = q.to_wire();
+  auto reply = s.answer_wire(wire_q, kClient, 512);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_LE(reply->size(), 512u);
+  auto parsed = Message::from_wire(*reply);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->header.tc);
+}
+
+TEST(AuthServer, EdnsRaisesUdpLimit) {
+  AuthServer s = make_server();
+  Message q = Message::make_query(10, mk("big.example.com"), RRType::TXT);
+  dns::Edns e;
+  e.udp_payload_size = 4096;
+  q.edns = e;
+  auto reply = s.answer_wire(q.to_wire(), kClient, 512);
+  ASSERT_TRUE(reply.has_value());
+  auto parsed = Message::from_wire(*reply);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->header.tc);
+  EXPECT_EQ(parsed->answers.size(), 7u);
+}
+
+TEST(AuthServer, TcpHasNoSizeLimit) {
+  AuthServer s = make_server();
+  Message q = Message::make_query(11, mk("big.example.com"), RRType::TXT);
+  auto reply = s.answer_wire(q.to_wire(), kClient, 0);
+  ASSERT_TRUE(reply.has_value());
+  auto parsed = Message::from_wire(*reply);
+  EXPECT_FALSE(parsed->header.tc);
+}
+
+// --- DNSSEC response-size model (Figure 10 driver) ------------------------
+
+size_t response_size(AuthServer& s, bool dnssec_ok) {
+  Message q = Message::make_query(20, mk("www.example.com"), RRType::A);
+  dns::Edns e;
+  e.udp_payload_size = 4096;
+  e.dnssec_ok = dnssec_ok;
+  q.edns = e;
+  return s.answer(q, kClient).to_wire().size();
+}
+
+TEST(AuthServerDnssec, DoBitAddsSignatures) {
+  ServerConfig cfg;
+  cfg.dnssec.zone_signed = true;
+  cfg.dnssec.zsk_bits = 1024;
+  AuthServer s = make_server(cfg);
+  size_t plain = response_size(s, false);
+  size_t with_do = response_size(s, true);
+  EXPECT_GT(with_do, plain + 100);  // at least one 128-byte signature
+}
+
+TEST(AuthServerDnssec, BiggerZskMeansBiggerResponses) {
+  ServerConfig cfg1024, cfg2048;
+  cfg1024.dnssec.zone_signed = true;
+  cfg1024.dnssec.zsk_bits = 1024;
+  cfg2048.dnssec.zone_signed = true;
+  cfg2048.dnssec.zsk_bits = 2048;
+  AuthServer s1024 = make_server(cfg1024);
+  AuthServer s2048 = make_server(cfg2048);
+  size_t r1024 = response_size(s1024, true);
+  size_t r2048 = response_size(s2048, true);
+  EXPECT_EQ(r2048 - r1024, 128u);  // one signature, 128 extra bytes
+}
+
+TEST(AuthServerDnssec, RolloverDoublesSignatures) {
+  ServerConfig normal, rollover;
+  normal.dnssec.zone_signed = true;
+  normal.dnssec.zsk_bits = 2048;
+  rollover.dnssec.zone_signed = true;
+  rollover.dnssec.zsk_bits = 2048;
+  rollover.dnssec.rollover = true;
+  AuthServer sn = make_server(normal);
+  AuthServer sr = make_server(rollover);
+  size_t base = response_size(sn, false);
+  size_t one = response_size(sn, true);
+  size_t two = response_size(sr, true);
+  EXPECT_GT(two - base, 2 * (one - base) - 40);  // roughly double the sigs
+}
+
+TEST(AuthServerDnssec, NegativeAnswersCarryNsecProof) {
+  ServerConfig cfg;
+  cfg.dnssec.zone_signed = true;
+  AuthServer s = make_server(cfg);
+  Message q = Message::make_query(21, mk("missing.example.com"), RRType::A);
+  dns::Edns e;
+  e.dnssec_ok = true;
+  q.edns = e;
+  Message r = s.answer(q, kClient);
+  bool has_nsec = false, has_rrsig = false;
+  for (const auto& rr : r.authorities) {
+    if (rr.type == RRType::NSEC) has_nsec = true;
+    if (rr.type == RRType::RRSIG) has_rrsig = true;
+  }
+  EXPECT_TRUE(has_nsec);
+  EXPECT_TRUE(has_rrsig);
+}
+
+TEST(AuthServerDnssec, UnsignedZoneIgnoresDo) {
+  AuthServer s = make_server();  // zone_signed = false
+  EXPECT_EQ(response_size(s, true), response_size(s, false));
+}
+
+TEST(AuthServer, StatsCount) {
+  AuthServer s = make_server();
+  Message q = Message::make_query(30, mk("www.example.com"), RRType::A);
+  s.answer(q, kClient);
+  s.answer(q, kClient);
+  EXPECT_EQ(s.stats().queries.load(), 2u);
+  EXPECT_EQ(s.stats().responses.load(), 2u);
+}
+
+}  // namespace
+}  // namespace ldp::server

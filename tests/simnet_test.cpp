@@ -1,0 +1,301 @@
+// Tests for the discrete-event simulator and the trace-replay simulation:
+// event ordering, connection lifecycle (reuse / idle close / TIME_WAIT),
+// protocol latency (1-RTT UDP, 2-RTT fresh TCP, 4-RTT fresh TLS), the
+// memory model, and CPU accounting — the machinery behind Figures 11/13-15.
+#include <gtest/gtest.h>
+
+#include "mutate/mutator.hpp"
+#include "simnet/replay_sim.hpp"
+#include "synth/generator.hpp"
+#include "zone/parser.hpp"
+
+namespace ldp::simnet {
+namespace {
+
+using trace::TraceRecord;
+
+TEST(SimulatorT, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulatorT, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(7, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorT, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.schedule_after(5, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 45);
+}
+
+TEST(SimulatorT, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ModelT, SetupRtts) {
+  EXPECT_EQ(setup_rtts(Transport::Udp), 0);
+  EXPECT_EQ(setup_rtts(Transport::Tcp), 1);
+  EXPECT_EQ(setup_rtts(Transport::Tls), 3);
+}
+
+TEST(ModelT, MemoryTotals) {
+  MemoryModel m;
+  // UDP-only: just the base.
+  EXPECT_EQ(m.total(0, 0, 0), m.base_bytes);
+  // 60k TCP established at the paper's operating point lands near 15 GB.
+  double gb = static_cast<double>(m.total(60000, 0, 120000)) / (1ull << 30);
+  EXPECT_NEAR(gb, 15.0, 1.5);
+  // TLS adds ~3 GB for the same connection count.
+  double gb_tls = static_cast<double>(m.total(0, 60000, 120000)) / (1ull << 30);
+  EXPECT_NEAR(gb_tls - gb, 3.0, 0.5);
+}
+
+// --- replay simulation -----------------------------------------------------
+
+server::AuthServer wildcard_server() {
+  server::AuthServer s;
+  auto z = zone::parse_zone(R"(
+$ORIGIN example.com.
+$TTL 3600
+@ IN SOA ns1 admin 1 7200 900 1209600 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+* IN A 192.0.2.80
+)");
+  EXPECT_TRUE(z.ok());
+  EXPECT_TRUE(s.default_zones().add(std::move(*z)).ok());
+  return s;
+}
+
+TraceRecord query_at(TimeNs t, IpAddr client, Transport transport, int seq) {
+  dns::Message q = dns::Message::make_query(
+      static_cast<uint16_t>(seq),
+      *dns::Name::parse("q" + std::to_string(seq) + ".example.com"), dns::RRType::A);
+  return trace::make_query_record(t, Endpoint{client, 50000},
+                                  Endpoint{IpAddr{Ip4{192, 0, 2, 1}}, 53}, q,
+                                  transport);
+}
+
+const IpAddr kClientA{Ip4{10, 0, 0, 1}};
+const IpAddr kClientB{Ip4{10, 0, 0, 2}};
+
+TEST(ReplaySim, UdpLatencyIsOneRttPlusService) {
+  auto server = wildcard_server();
+  SimReplayConfig cfg;
+  cfg.rtt = 40 * kMilli;
+  auto result = simulate_replay({query_at(0, kClientA, Transport::Udp, 0)}, server, cfg);
+  ASSERT_EQ(result.queries, 1u);
+  ASSERT_EQ(result.latency_all_ms.count(), 1u);
+  EXPECT_NEAR(result.latency_all_ms.samples()[0], 40.05, 0.1);
+  EXPECT_EQ(result.connections_opened, 0u);
+}
+
+TEST(ReplaySim, FreshTcpCostsTwoRtts) {
+  auto server = wildcard_server();
+  SimReplayConfig cfg;
+  cfg.rtt = 40 * kMilli;
+  auto result = simulate_replay({query_at(0, kClientA, Transport::Tcp, 0)}, server, cfg);
+  EXPECT_NEAR(result.latency_all_ms.samples()[0], 80.05, 0.1);
+  EXPECT_EQ(result.connections_opened, 1u);
+}
+
+TEST(ReplaySim, FreshTlsCostsFourRtts) {
+  auto server = wildcard_server();
+  SimReplayConfig cfg;
+  cfg.rtt = 40 * kMilli;
+  auto result = simulate_replay({query_at(0, kClientA, Transport::Tls, 0)}, server, cfg);
+  EXPECT_NEAR(result.latency_all_ms.samples()[0], 160.05, 0.1);
+}
+
+TEST(ReplaySim, ConnectionReuseDropsToOneRtt) {
+  auto server = wildcard_server();
+  SimReplayConfig cfg;
+  cfg.rtt = 40 * kMilli;
+  cfg.idle_timeout = 20 * kSecond;
+  std::vector<TraceRecord> trace = {
+      query_at(0, kClientA, Transport::Tcp, 0),
+      query_at(5 * kSecond, kClientA, Transport::Tcp, 1),  // within timeout
+  };
+  auto result = simulate_replay(trace, server, cfg);
+  ASSERT_EQ(result.latency_all_ms.count(), 2u);
+  EXPECT_NEAR(result.latency_all_ms.samples()[0], 80.05, 0.1);
+  EXPECT_NEAR(result.latency_all_ms.samples()[1], 40.05, 0.1);  // reused
+  EXPECT_EQ(result.connections_opened, 1u);
+  EXPECT_EQ(result.handshakes_reused, 1u);
+}
+
+TEST(ReplaySim, IdleTimeoutForcesNewHandshake) {
+  auto server = wildcard_server();
+  SimReplayConfig cfg;
+  cfg.rtt = 40 * kMilli;
+  cfg.idle_timeout = 10 * kSecond;
+  std::vector<TraceRecord> trace = {
+      query_at(0, kClientA, Transport::Tcp, 0),
+      query_at(30 * kSecond, kClientA, Transport::Tcp, 1),  // idle > timeout
+  };
+  auto result = simulate_replay(trace, server, cfg);
+  EXPECT_EQ(result.connections_opened, 2u);
+  // Both connections idle out eventually (the second once the trace ends).
+  EXPECT_EQ(result.connections_closed_idle, 2u);
+  EXPECT_NEAR(result.latency_all_ms.samples()[1], 80.05, 0.1);  // fresh again
+}
+
+TEST(ReplaySim, EstablishedAndTimeWaitCounts) {
+  auto server = wildcard_server();
+  SimReplayConfig cfg;
+  cfg.rtt = kMilli;
+  cfg.idle_timeout = 10 * kSecond;
+  cfg.sample_interval = 5 * kSecond;
+  // Two clients connect at t=0 and go quiet; one returns at t=30s.
+  std::vector<TraceRecord> trace = {
+      query_at(0, kClientA, Transport::Tcp, 0),
+      query_at(0, kClientB, Transport::Tcp, 1),
+      query_at(30 * kSecond, kClientA, Transport::Tcp, 2),
+      query_at(120 * kSecond, kClientB, Transport::Udp, 3),  // keeps sim alive
+  };
+  auto result = simulate_replay(trace, server, cfg);
+  ASSERT_GE(result.samples.size(), 20u);
+  // t=5s: both connections established.
+  EXPECT_EQ(result.samples[0].established, 2u);
+  EXPECT_EQ(result.samples[0].time_wait, 0u);
+  // t=15s: both idle-closed, in TIME_WAIT (60s).
+  EXPECT_EQ(result.samples[2].established, 0u);
+  EXPECT_EQ(result.samples[2].time_wait, 2u);
+  // t=35s: client A reconnected; both old conns still in TIME_WAIT.
+  EXPECT_EQ(result.samples[6].established, 1u);
+  EXPECT_EQ(result.samples[6].time_wait, 2u);
+  // t=90s: all TIME_WAIT entries expired; A's second conn closed at 40s.
+  EXPECT_EQ(result.samples[17].established, 0u);
+  EXPECT_LE(result.samples[17].time_wait, 1u);
+}
+
+TEST(ReplaySim, MemoryGrowsWithTimeout) {
+  auto server = wildcard_server();
+  synth::RootTraceSpec spec;
+  spec.mean_rate_qps = 500;
+  spec.duration_ns = 120 * kSecond;
+  spec.client_count = 2000;
+  spec.seed = 5;
+  auto base_trace = synth::make_root_trace(spec);
+  mutate::MutatorPipeline all_tcp;
+  all_tcp.force_transport(Transport::Tcp);
+  auto trace = all_tcp.apply_all(base_trace);
+
+  SimReplayConfig short_to, long_to;
+  short_to.idle_timeout = 5 * kSecond;
+  short_to.sample_interval = 10 * kSecond;
+  long_to.idle_timeout = 40 * kSecond;
+  long_to.sample_interval = 10 * kSecond;
+
+  auto short_result = simulate_replay(trace, server, short_to);
+  auto long_result = simulate_replay(trace, server, long_to);
+  double short_mem = short_result.steady_memory_gb(3).median;
+  double long_mem = long_result.steady_memory_gb(3).median;
+  EXPECT_GT(long_mem, short_mem);  // Figure 13a's monotone timeout effect
+  // Longer timeouts keep more connections alive.
+  EXPECT_GT(long_result.samples.back().established,
+            short_result.samples.back().established);
+}
+
+TEST(ReplaySim, CpuInversionUdpAboveTcp) {
+  // Figure 11's surprise: the 97%-UDP original trace costs MORE cpu than
+  // all-TCP on the paper's hardware. The model encodes it; verify it holds
+  // end-to-end through the simulation.
+  auto server = wildcard_server();
+  synth::RootTraceSpec spec;
+  spec.mean_rate_qps = 1000;
+  spec.duration_ns = 120 * kSecond;
+  spec.client_count = 1000;
+  spec.seed = 6;
+  auto original = synth::make_root_trace(spec);  // 3% TCP
+
+  mutate::MutatorPipeline to_tcp, to_tls;
+  to_tcp.force_transport(Transport::Tcp);
+  to_tls.force_transport(Transport::Tls);
+  auto all_tcp = to_tcp.apply_all(original);
+  auto all_tls = to_tls.apply_all(original);
+
+  SimReplayConfig cfg;
+  cfg.idle_timeout = 20 * kSecond;
+  cfg.sample_interval = 10 * kSecond;
+  double cpu_orig = simulate_replay(original, server, cfg).steady_cpu_percent(2).median;
+  double cpu_tcp = simulate_replay(all_tcp, server, cfg).steady_cpu_percent(2).median;
+  double cpu_tls = simulate_replay(all_tls, server, cfg).steady_cpu_percent(2).median;
+
+  EXPECT_GT(cpu_orig, cpu_tcp);  // the inversion
+  EXPECT_GT(cpu_tls, cpu_tcp);   // TLS above TCP
+}
+
+TEST(ReplaySim, NonBusyClientsSeeMoreHandshakes) {
+  // Figure 15b: clients below the busy threshold reuse connections less, so
+  // their median TCP latency sits near 2 RTT while busy clients stay at 1.
+  auto server = wildcard_server();
+  SimReplayConfig cfg;
+  cfg.rtt = 40 * kMilli;
+  cfg.idle_timeout = 10 * kSecond;
+  cfg.busy_threshold = 50;
+
+  std::vector<TraceRecord> trace;
+  int seq = 0;
+  // Busy client: a query every second for 200 s (always reusing).
+  for (int i = 0; i < 200; ++i)
+    trace.push_back(query_at(i * kSecond, kClientA, Transport::Tcp, seq++));
+  // Non-busy client: a query every 30 s (always re-handshaking).
+  for (int i = 0; i < 6; ++i)
+    trace.push_back(query_at(i * 30 * kSecond, kClientB, Transport::Tcp, seq++));
+  std::sort(trace.begin(), trace.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+
+  auto result = simulate_replay(trace, server, cfg);
+  double all_median = result.latency_all_ms.summary().median;
+  double nonbusy_median = result.latency_nonbusy_ms.summary().median;
+  EXPECT_NEAR(all_median, 40.05, 1.0);      // dominated by the busy client
+  EXPECT_NEAR(nonbusy_median, 80.05, 1.0);  // 2 RTT: fresh connections
+}
+
+TEST(ReplaySim, ResponsesAccountedThroughRealServer) {
+  auto server = wildcard_server();
+  SimReplayConfig cfg;
+  cfg.sample_interval = kSecond;
+  std::vector<TraceRecord> trace;
+  for (int i = 0; i < 100; ++i)
+    trace.push_back(query_at(i * 10 * kMilli, kClientA, Transport::Udp, i));
+  auto result = simulate_replay(trace, server, cfg);
+  EXPECT_EQ(result.queries, 100u);
+  EXPECT_EQ(result.responses, 100u);
+  uint64_t bytes = 0;
+  for (const auto& s : result.samples) bytes += s.response_bytes;
+  EXPECT_GT(bytes, 100u * 40);  // every response has at least header+question
+  EXPECT_EQ(server.stats().queries.load(), 100u);
+}
+
+}  // namespace
+}  // namespace ldp::simnet

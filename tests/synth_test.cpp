@@ -1,0 +1,137 @@
+// Tests for the workload generators: determinism, timing structure, and the
+// statistical properties the paper's evaluation depends on.
+#include <gtest/gtest.h>
+
+#include "synth/generator.hpp"
+#include "trace/stats.hpp"
+
+namespace ldp::synth {
+namespace {
+
+TEST(ClientPool, DistinctAndDeterministic) {
+  Rng a(5), b(5);
+  auto p1 = make_client_pool(1000, a);
+  auto p2 = make_client_pool(1000, b);
+  EXPECT_EQ(p1.size(), 1000u);
+  for (size_t i = 0; i < p1.size(); ++i) EXPECT_TRUE(p1[i] == p2[i]);
+  std::set<std::string> unique;
+  for (const auto& addr : p1) unique.insert(addr.to_string());
+  EXPECT_EQ(unique.size(), 1000u);
+}
+
+TEST(FixedTrace, ExactSpacingUniqueNames) {
+  FixedTraceSpec spec;
+  spec.interarrival_ns = kMilli;
+  spec.duration_ns = kSecond;
+  auto recs = make_fixed_trace(spec);
+  ASSERT_EQ(recs.size(), 1000u);
+  std::set<std::string> names;
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].timestamp - recs[i - 1].timestamp, kMilli);
+  }
+  for (const auto& rec : recs) {
+    auto msg = rec.message();
+    ASSERT_TRUE(msg.ok());
+    names.insert(msg->questions[0].qname.to_string());
+  }
+  EXPECT_EQ(names.size(), recs.size());  // every query name unique
+}
+
+TEST(FixedTrace, Table1SynSeries) {
+  // syn-0..syn-4: inter-arrivals 1 s down to 0.1 ms over 60 s.
+  const TimeNs gaps[] = {kSecond, kSecond / 10, kSecond / 100, kMilli, kMilli / 10};
+  const size_t expected[] = {60, 600, 6000, 60000, 600000};
+  for (int i = 0; i < 5; ++i) {
+    FixedTraceSpec spec;
+    spec.interarrival_ns = gaps[i];
+    spec.duration_ns = 60 * kSecond;
+    auto recs = make_fixed_trace(spec);
+    EXPECT_EQ(recs.size(), expected[i]) << "syn-" << i;
+    auto stats = trace::compute_stats(recs);
+    EXPECT_NEAR(stats.interarrival_mean_s, ns_to_sec(gaps[i]),
+                ns_to_sec(gaps[i]) * 0.01);
+  }
+}
+
+TEST(RootTrace, RateAndMixes) {
+  RootTraceSpec spec;
+  spec.mean_rate_qps = 1000;
+  spec.duration_ns = 30 * kSecond;
+  spec.client_count = 2000;
+  spec.seed = 11;
+  auto recs = make_root_trace(spec);
+  auto stats = trace::compute_stats(recs);
+  EXPECT_NEAR(stats.mean_rate_qps(), 1000, 100);
+
+  size_t with_do = 0, tcp = 0;
+  for (const auto& rec : recs) {
+    auto msg = rec.message();
+    ASSERT_TRUE(msg.ok());
+    if (msg->edns.has_value() && msg->edns->dnssec_ok) ++with_do;
+    if (rec.transport == Transport::Tcp) ++tcp;
+  }
+  double do_frac = static_cast<double>(with_do) / recs.size();
+  double tcp_frac = static_cast<double>(tcp) / recs.size();
+  EXPECT_NEAR(do_frac, 0.723, 0.02);  // the paper's mid-2016 DO share
+  EXPECT_NEAR(tcp_frac, 0.03, 0.01);  // 3% TCP
+}
+
+TEST(RootTrace, DeterministicAcrossRuns) {
+  RootTraceSpec spec;
+  spec.mean_rate_qps = 500;
+  spec.duration_ns = 5 * kSecond;
+  spec.seed = 99;
+  auto a = make_root_trace(spec);
+  auto b = make_root_trace(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(RootTrace, TimestampsMonotone) {
+  RootTraceSpec spec;
+  spec.mean_rate_qps = 2000;
+  spec.duration_ns = 5 * kSecond;
+  auto recs = make_root_trace(spec);
+  for (size_t i = 1; i < recs.size(); ++i)
+    EXPECT_GE(recs[i].timestamp, recs[i - 1].timestamp);
+}
+
+TEST(RecursiveTrace, MatchesRec17Shape) {
+  RecursiveTraceSpec spec;
+  spec.query_count = 20000;
+  spec.client_count = 91;
+  spec.seed = 4;
+  auto recs = make_recursive_trace(spec);
+  ASSERT_EQ(recs.size(), 20000u);
+  auto stats = trace::compute_stats(recs);
+  EXPECT_EQ(stats.unique_clients, 91u);
+  // Table 1 Rec-17: inter-arrival 0.1808 ± 0.3554 s.
+  EXPECT_NEAR(stats.interarrival_mean_s, 0.1808, 0.02);
+  EXPECT_NEAR(stats.interarrival_stdev_s, 0.3554, 0.05);
+
+  // Distinct SLD count close to the configured zone universe (549).
+  std::set<std::string> slds;
+  for (const auto& rec : recs) {
+    auto msg = rec.message();
+    ASSERT_TRUE(msg.ok());
+    const auto& qname = msg->questions[0].qname;
+    ASSERT_GE(qname.label_count(), 2u);
+    slds.insert(qname.suffix(2).to_string());
+  }
+  EXPECT_GT(slds.size(), 400u);
+  EXPECT_LE(slds.size(), 549u);
+}
+
+TEST(RecursiveTrace, RdSetOnStubQueries) {
+  RecursiveTraceSpec spec;
+  spec.query_count = 100;
+  auto recs = make_recursive_trace(spec);
+  for (const auto& rec : recs) {
+    auto msg = rec.message();
+    ASSERT_TRUE(msg.ok());
+    EXPECT_TRUE(msg->header.rd);  // stub → recursive queries want recursion
+  }
+}
+
+}  // namespace
+}  // namespace ldp::synth

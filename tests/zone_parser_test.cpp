@@ -1,0 +1,198 @@
+// Tests for the master-file parser: directives, relative names, owner
+// inheritance, parentheses, comments, quoted strings, error reporting, and
+// print/parse round-trips.
+#include <gtest/gtest.h>
+
+#include "zone/parser.hpp"
+
+namespace ldp::zone {
+namespace {
+
+using dns::RRType;
+
+Name mk(std::string_view s) { return *Name::parse(s); }
+
+constexpr const char* kExampleZone = R"(
+$ORIGIN example.com.
+$TTL 3600
+@   IN SOA ns1 admin.example.com. (
+        2018103100 ; serial
+        7200       ; refresh
+        900        ; retry
+        1209600    ; expire
+        300 )      ; minimum
+    IN NS ns1
+    IN NS ns2.example.com.
+ns1 IN A  192.0.2.1
+ns2 600 IN A 192.0.2.2
+www     A  192.0.2.80
+        A  192.0.2.81
+alias   CNAME www
+txt     TXT "hello world" "second string"
+mx      MX 10 mail
+sub     NS ns.sub
+ns.sub  A 192.0.2.100
+*.wild  TXT "wildcard"
+)";
+
+TEST(ZoneParser, ParsesRealisticFile) {
+  auto z = parse_zone(kExampleZone);
+  ASSERT_TRUE(z.ok()) << z.error().message;
+  EXPECT_EQ(z->origin(), mk("example.com"));
+  auto v = z->validate();
+  EXPECT_TRUE(v.ok()) << (v.ok() ? "" : v.error().message);
+
+  const auto* soa = z->soa();
+  ASSERT_NE(soa, nullptr);
+  const auto* soa_data = soa->rdatas[0].get_if<dns::SoaData>();
+  ASSERT_NE(soa_data, nullptr);
+  EXPECT_EQ(soa_data->serial, 2018103100u);
+  EXPECT_EQ(soa_data->minimum, 300u);
+  EXPECT_EQ(soa_data->mname, mk("ns1.example.com"));  // relative resolved
+}
+
+TEST(ZoneParser, OwnerInheritance) {
+  auto z = parse_zone(kExampleZone);
+  ASSERT_TRUE(z.ok());
+  // "www" has two A records, the second from an inherited owner line.
+  const auto* www = z->find(mk("www.example.com"), RRType::A);
+  ASSERT_NE(www, nullptr);
+  EXPECT_EQ(www->size(), 2u);
+}
+
+TEST(ZoneParser, ExplicitTtlOverridesDefault) {
+  auto z = parse_zone(kExampleZone);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z->find(mk("ns2.example.com"), RRType::A)->ttl, 600u);
+  EXPECT_EQ(z->find(mk("ns1.example.com"), RRType::A)->ttl, 3600u);
+}
+
+TEST(ZoneParser, QuotedStringsKeepSpaces) {
+  auto z = parse_zone(kExampleZone);
+  ASSERT_TRUE(z.ok());
+  const auto* txt = z->find(mk("txt.example.com"), RRType::TXT);
+  ASSERT_NE(txt, nullptr);
+  const auto* data = txt->rdatas[0].get_if<dns::TxtData>();
+  ASSERT_NE(data, nullptr);
+  ASSERT_EQ(data->strings.size(), 2u);
+  EXPECT_EQ(data->strings[0], "hello world");
+  EXPECT_EQ(data->strings[1], "second string");
+}
+
+TEST(ZoneParser, RelativeNamesInRdata) {
+  auto z = parse_zone(kExampleZone);
+  ASSERT_TRUE(z.ok());
+  const auto* mx = z->find(mk("mx.example.com"), RRType::MX);
+  ASSERT_NE(mx, nullptr);
+  const auto* data = mx->rdatas[0].get_if<dns::MxData>();
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->exchange, mk("mail.example.com"));
+}
+
+TEST(ZoneParser, OriginFromOptionsAllowsNoSoaFiles) {
+  ParseOptions opts;
+  opts.origin = mk("example.org");
+  auto records = parse_records("www A 192.0.2.7\n", opts);
+  ASSERT_TRUE(records.ok()) << records.error().message;
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].name, mk("www.example.org"));
+  EXPECT_EQ((*records)[0].ttl, 3600u);  // fallback default
+}
+
+TEST(ZoneParser, AtSignIsOrigin) {
+  ParseOptions opts;
+  opts.origin = mk("example.net");
+  auto records = parse_records("@ 60 IN A 192.0.2.9\n", opts);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].name, mk("example.net"));
+  EXPECT_EQ((*records)[0].ttl, 60u);
+}
+
+TEST(ZoneParser, ClassAndTtlInEitherOrder) {
+  ParseOptions opts;
+  opts.origin = mk("e.com");
+  auto a = parse_records("x IN 120 A 1.2.3.4\n", opts);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  EXPECT_EQ((*a)[0].ttl, 120u);
+  auto b = parse_records("x 120 IN A 1.2.3.4\n", opts);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)[0].ttl, 120u);
+}
+
+TEST(ZoneParser, ErrorsCarryLineNumbers) {
+  auto bad = parse_zone("$ORIGIN example.com.\nns1 IN A not-an-ip\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("line 2"), std::string::npos) << bad.error().message;
+}
+
+TEST(ZoneParser, RejectsRelativeWithoutOrigin) {
+  auto bad = parse_records("www A 192.0.2.1\n");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ZoneParser, RejectsUnbalancedParens) {
+  auto bad = parse_records("@ SOA a. b. ( 1 2 3 4\n", {mk("x.com"), 300});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ZoneParser, RejectsUnknownDirective) {
+  auto bad = parse_records("$GENERATE 1-10 host$ A 1.2.3.4\n", {mk("x.com"), 300});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ZoneParser, RejectsNoRecords) {
+  EXPECT_FALSE(parse_zone("; just a comment\n").ok());
+}
+
+TEST(ZoneParser, CommentInsideQuotedStringKept) {
+  ParseOptions opts;
+  opts.origin = mk("e.com");
+  auto records = parse_records("t TXT \"semi;colon\"\n", opts);
+  ASSERT_TRUE(records.ok());
+  const auto* data = (*records)[0].rdata.get_if<dns::TxtData>();
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->strings[0], "semi;colon");
+}
+
+TEST(ZoneParser, PrintParseRoundTrip) {
+  auto z = parse_zone(kExampleZone);
+  ASSERT_TRUE(z.ok());
+  std::string printed = print_zone(*z);
+  auto z2 = parse_zone(printed);
+  ASSERT_TRUE(z2.ok()) << z2.error().message;
+  EXPECT_EQ(z2->origin(), z->origin());
+  EXPECT_EQ(z2->rrset_count(), z->rrset_count());
+  EXPECT_EQ(z2->record_count(), z->record_count());
+  // Every RRset survives with identical content.
+  for (const RRset* set : z->all_rrsets()) {
+    const RRset* other = z2->find(set->name, set->type);
+    ASSERT_NE(other, nullptr) << set->name.to_string();
+    EXPECT_EQ(other->ttl, set->ttl);
+    EXPECT_EQ(other->size(), set->size());
+  }
+}
+
+TEST(ZoneParser, RootZoneStyle) {
+  // A miniature root zone: delegations + glue, as the B-Root replay uses.
+  constexpr const char* kRoot = R"(
+$ORIGIN .
+$TTL 86400
+. IN SOA a.root-servers.net. nstld.verisign-grs.com. 2018103100 1800 900 604800 86400
+. IN NS a.root-servers.net.
+a.root-servers.net. IN A 198.41.0.4
+com. IN NS a.gtld-servers.net.
+a.gtld-servers.net. IN A 192.5.6.30
+org. IN NS a0.org.afilias-nst.info.
+a0.org.afilias-nst.info. IN A 199.19.56.1
+)";
+  auto z = parse_zone(kRoot);
+  ASSERT_TRUE(z.ok()) << z.error().message;
+  EXPECT_TRUE(z->origin().is_root());
+  auto res = z->lookup(mk("www.example.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::Delegation);
+  ASSERT_FALSE(res.authorities.empty());
+  EXPECT_EQ(res.authorities[0].name, mk("com"));
+}
+
+}  // namespace
+}  // namespace ldp::zone

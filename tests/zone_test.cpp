@@ -1,0 +1,285 @@
+// Tests for the zone store: lookup classification (answer / referral /
+// CNAME / NODATA / NXDOMAIN), wildcard synthesis, glue collection, empty
+// non-terminals, and validation.
+#include <gtest/gtest.h>
+
+#include "zone/parser.hpp"
+#include "zone/view.hpp"
+#include "zone/zone.hpp"
+
+namespace ldp::zone {
+namespace {
+
+using dns::AData;
+using dns::NameData;
+using dns::Rdata;
+using dns::RRType;
+
+Name mk(std::string_view s) { return *Name::parse(s); }
+
+ResourceRecord rr(std::string_view name, RRType type, Rdata rd, uint32_t ttl = 3600) {
+  return ResourceRecord{mk(name), type, dns::RRClass::IN, ttl, std::move(rd)};
+}
+
+Zone example_zone() {
+  Zone z(mk("example.com"));
+  auto add = [&z](ResourceRecord record) {
+    auto r = z.add(record);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  };
+  add(rr("example.com", RRType::SOA,
+         Rdata{dns::SoaData{mk("ns1.example.com"), mk("admin.example.com"), 1, 7200,
+                            900, 1209600, 300}}));
+  add(rr("example.com", RRType::NS, Rdata{NameData{mk("ns1.example.com")}}));
+  add(rr("example.com", RRType::NS, Rdata{NameData{mk("ns2.example.com")}}));
+  add(rr("ns1.example.com", RRType::A, Rdata{AData{Ip4{192, 0, 2, 1}}}));
+  add(rr("ns2.example.com", RRType::A, Rdata{AData{Ip4{192, 0, 2, 2}}}));
+  add(rr("www.example.com", RRType::A, Rdata{AData{Ip4{192, 0, 2, 80}}}));
+  add(rr("alias.example.com", RRType::CNAME, Rdata{NameData{mk("www.example.com")}}));
+  // Delegation to a child zone, with in-zone glue.
+  add(rr("sub.example.com", RRType::NS, Rdata{NameData{mk("ns.sub.example.com")}}));
+  add(rr("ns.sub.example.com", RRType::A, Rdata{AData{Ip4{192, 0, 2, 100}}}));
+  // Wildcard.
+  add(rr("*.wild.example.com", RRType::TXT, Rdata{dns::TxtData{{"wildcard"}}}));
+  // Deep name creating empty non-terminals.
+  add(rr("a.b.c.example.com", RRType::A, Rdata{AData{Ip4{192, 0, 2, 50}}}));
+  return z;
+}
+
+TEST(Zone, PositiveAnswer) {
+  Zone z = example_zone();
+  auto res = z.lookup(mk("www.example.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::Answer);
+  ASSERT_EQ(res.answers.size(), 1u);
+  EXPECT_EQ(res.answers[0].name, mk("www.example.com"));
+  EXPECT_EQ(res.answers[0].type, RRType::A);
+}
+
+TEST(Zone, ApexAnswer) {
+  Zone z = example_zone();
+  auto res = z.lookup(mk("example.com"), RRType::NS);
+  EXPECT_EQ(res.status, LookupStatus::Answer);
+  ASSERT_EQ(res.answers.size(), 1u);
+  EXPECT_EQ(res.answers[0].size(), 2u);  // both NS records in one set
+}
+
+TEST(Zone, NoDataHasSoa) {
+  Zone z = example_zone();
+  auto res = z.lookup(mk("www.example.com"), RRType::AAAA);
+  EXPECT_EQ(res.status, LookupStatus::NoData);
+  EXPECT_TRUE(res.answers.empty());
+  ASSERT_EQ(res.authorities.size(), 1u);
+  EXPECT_EQ(res.authorities[0].type, RRType::SOA);
+}
+
+TEST(Zone, NxDomainHasSoa) {
+  Zone z = example_zone();
+  auto res = z.lookup(mk("nothere.example.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::NxDomain);
+  ASSERT_EQ(res.authorities.size(), 1u);
+  EXPECT_EQ(res.authorities[0].type, RRType::SOA);
+}
+
+TEST(Zone, CnameReturned) {
+  Zone z = example_zone();
+  auto res = z.lookup(mk("alias.example.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::Cname);
+  ASSERT_EQ(res.answers.size(), 1u);
+  EXPECT_EQ(res.answers[0].type, RRType::CNAME);
+}
+
+TEST(Zone, CnameQueryAnswersDirectly) {
+  Zone z = example_zone();
+  auto res = z.lookup(mk("alias.example.com"), RRType::CNAME);
+  EXPECT_EQ(res.status, LookupStatus::Answer);
+}
+
+TEST(Zone, DelegationWithGlue) {
+  Zone z = example_zone();
+  auto res = z.lookup(mk("host.sub.example.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::Delegation);
+  ASSERT_EQ(res.authorities.size(), 1u);
+  EXPECT_EQ(res.authorities[0].type, RRType::NS);
+  EXPECT_EQ(res.authorities[0].name, mk("sub.example.com"));
+  ASSERT_EQ(res.additionals.size(), 1u);
+  EXPECT_EQ(res.additionals[0].name, mk("ns.sub.example.com"));
+}
+
+TEST(Zone, DelegationAtCutItself) {
+  Zone z = example_zone();
+  auto res = z.lookup(mk("sub.example.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::Delegation);
+}
+
+TEST(Zone, DsAnsweredFromParentSide) {
+  Zone z = example_zone();
+  // DS at the cut belongs to the parent; no DS record exists so NODATA, not
+  // a referral.
+  auto res = z.lookup(mk("sub.example.com"), RRType::DS);
+  EXPECT_EQ(res.status, LookupStatus::NoData);
+}
+
+TEST(Zone, WildcardSynthesis) {
+  Zone z = example_zone();
+  auto res = z.lookup(mk("anything.wild.example.com"), RRType::TXT);
+  EXPECT_EQ(res.status, LookupStatus::Answer);
+  ASSERT_EQ(res.answers.size(), 1u);
+  // The synthesized RRset bears the query name, not the wildcard owner.
+  EXPECT_EQ(res.answers[0].name, mk("anything.wild.example.com"));
+}
+
+TEST(Zone, WildcardNoDataForOtherTypes) {
+  Zone z = example_zone();
+  auto res = z.lookup(mk("anything.wild.example.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::NoData);
+}
+
+TEST(Zone, WildcardDoesNotApplyToExistingName) {
+  Zone z = example_zone();
+  // wild.example.com exists (as empty non-terminal parent of "*"), so the
+  // wildcard must not synthesize an answer for it.
+  auto res = z.lookup(mk("wild.example.com"), RRType::TXT);
+  EXPECT_EQ(res.status, LookupStatus::NoData);
+}
+
+TEST(Zone, WildcardNsSynthesizesDelegation) {
+  // "* IN NS ..." delegates every nonexistent child — how an emulated TLD
+  // hands all its SLDs to one server.
+  Zone z(mk("com"));
+  ASSERT_TRUE(z.add(rr("com", RRType::SOA,
+                       Rdata{dns::SoaData{mk("a.gtld-servers.net"), mk("admin.com"),
+                                          1, 2, 3, 4, 300}}))
+                  .ok());
+  ASSERT_TRUE(z.add(rr("com", RRType::NS, Rdata{NameData{mk("a.gtld-servers.net")}})).ok());
+  ASSERT_TRUE(z.add(rr("*.com", RRType::NS, Rdata{NameData{mk("ns.sld.net")}})).ok());
+
+  auto res = z.lookup(mk("www.anything.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::Delegation);
+  ASSERT_EQ(res.authorities.size(), 1u);
+  // Delegation point is the direct child of the encloser, not the qname.
+  EXPECT_EQ(res.authorities[0].name, mk("anything.com"));
+  EXPECT_EQ(res.authorities[0].type, RRType::NS);
+
+  // DS stays parent-side even under a wildcard cut.
+  auto ds = z.lookup(mk("anything.com"), RRType::DS);
+  EXPECT_NE(ds.status, LookupStatus::Delegation);
+}
+
+TEST(Zone, EmptyNonTerminalIsNoDataNotNxDomain) {
+  Zone z = example_zone();
+  // b.c.example.com exists only as a path component of a.b.c.example.com.
+  auto res = z.lookup(mk("b.c.example.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::NoData);
+  auto res2 = z.lookup(mk("x.b.c.example.com"), RRType::A);
+  EXPECT_EQ(res2.status, LookupStatus::NxDomain);
+}
+
+TEST(Zone, AnyQueryReturnsAllTypes) {
+  Zone z = example_zone();
+  auto res = z.lookup(mk("example.com"), RRType::ANY);
+  EXPECT_EQ(res.status, LookupStatus::Answer);
+  EXPECT_GE(res.answers.size(), 2u);  // SOA + NS at least
+}
+
+TEST(Zone, OutOfZoneRecordRejected) {
+  Zone z(mk("example.com"));
+  auto r = z.add(rr("example.org", RRType::A, Rdata{AData{Ip4{1, 2, 3, 4}}}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Zone, TtlTakesMinimumOnDisagreement) {
+  Zone z(mk("example.com"));
+  ASSERT_TRUE(z.add(rr("x.example.com", RRType::A, Rdata{AData{Ip4{1, 1, 1, 1}}}, 600)).ok());
+  ASSERT_TRUE(z.add(rr("x.example.com", RRType::A, Rdata{AData{Ip4{1, 1, 1, 2}}}, 60)).ok());
+  const RRset* set = z.find(mk("x.example.com"), RRType::A);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->ttl, 60u);
+  EXPECT_EQ(set->size(), 2u);
+}
+
+TEST(Zone, DuplicateRdataIgnored) {
+  Zone z(mk("example.com"));
+  auto record = rr("x.example.com", RRType::A, Rdata{AData{Ip4{1, 1, 1, 1}}});
+  ASSERT_TRUE(z.add(record).ok());
+  ASSERT_TRUE(z.add(record).ok());
+  EXPECT_EQ(z.find(mk("x.example.com"), RRType::A)->size(), 1u);
+}
+
+TEST(Zone, ValidatePassesOnGoodZone) {
+  Zone z = example_zone();
+  auto r = z.validate();
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+}
+
+TEST(Zone, ValidateCatchesMissingSoa) {
+  Zone z(mk("example.com"));
+  ASSERT_TRUE(z.add(rr("example.com", RRType::NS, Rdata{NameData{mk("ns1.example.com")}})).ok());
+  EXPECT_FALSE(z.validate().ok());
+}
+
+TEST(Zone, ValidateCatchesMissingGlue) {
+  Zone z = example_zone();
+  ASSERT_TRUE(
+      z.add(rr("orphan.example.com", RRType::NS, Rdata{NameData{mk("ns.orphan.example.com")}}))
+          .ok());
+  EXPECT_FALSE(z.validate().ok());
+}
+
+TEST(Zone, CountsAndIteration) {
+  Zone z = example_zone();
+  EXPECT_GT(z.record_count(), z.rrset_count() - 1);
+  auto sets = z.all_rrsets();
+  ASSERT_GE(sets.size(), 3u);
+  EXPECT_EQ(sets[0]->type, RRType::SOA);  // SOA leads for the printer
+  EXPECT_EQ(sets[1]->type, RRType::NS);
+}
+
+TEST(ZoneSet, LongestSuffixWins) {
+  ZoneSet set;
+  Zone root(mk("."));
+  ASSERT_TRUE(root.add(rr(".", RRType::SOA,
+                          Rdata{dns::SoaData{mk("a.root-servers.net"), mk("nstld.example"),
+                                             1, 1, 1, 1, 1}}))
+                  .ok());
+  Zone com(mk("com"));
+  Zone example(mk("example.com"));
+  ASSERT_TRUE(set.add(std::move(root)).ok());
+  ASSERT_TRUE(set.add(std::move(com)).ok());
+  ASSERT_TRUE(set.add(std::move(example)).ok());
+
+  EXPECT_EQ(set.find_zone(mk("www.example.com"))->origin(), mk("example.com"));
+  EXPECT_EQ(set.find_zone(mk("other.com"))->origin(), mk("com"));
+  EXPECT_EQ(set.find_zone(mk("example.org"))->origin(), mk("."));
+  EXPECT_EQ(set.find_zone(mk("."))->origin(), mk("."));
+  EXPECT_NE(set.find_exact(mk("com")), nullptr);
+  EXPECT_EQ(set.find_exact(mk("org")), nullptr);
+}
+
+TEST(ZoneSet, DuplicateOriginRejected) {
+  ZoneSet set;
+  ASSERT_TRUE(set.add(Zone(mk("example.com"))).ok());
+  EXPECT_FALSE(set.add(Zone(mk("example.com"))).ok());
+}
+
+TEST(ViewSet, FirstMatchWinsWithCatchAll) {
+  ViewSet views;
+  View& v1 = views.add_view("root-servers");
+  v1.match_clients.insert(IpAddr{*Ip4::parse("198.41.0.4")});
+  View& v2 = views.add_view("gtld-servers");
+  v2.match_clients.insert(IpAddr{*Ip4::parse("192.5.6.30")});
+  views.add_view("default");  // catch-all
+
+  EXPECT_EQ(views.match(IpAddr{*Ip4::parse("198.41.0.4")})->name, "root-servers");
+  EXPECT_EQ(views.match(IpAddr{*Ip4::parse("192.5.6.30")})->name, "gtld-servers");
+  EXPECT_EQ(views.match(IpAddr{*Ip4::parse("10.0.0.1")})->name, "default");
+}
+
+TEST(ViewSet, NoMatchReturnsNull) {
+  ViewSet views;
+  View& v1 = views.add_view("only");
+  v1.match_clients.insert(IpAddr{*Ip4::parse("198.41.0.4")});
+  EXPECT_EQ(views.match(IpAddr{*Ip4::parse("10.0.0.1")}), nullptr);
+}
+
+}  // namespace
+}  // namespace ldp::zone

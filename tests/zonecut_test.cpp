@@ -1,0 +1,221 @@
+// Tests for the zone constructor (§2.3): rebuilding the hierarchy from a
+// captured resolution chain, first-answer-wins conflict handling, fake SOA
+// synthesis, glue recovery, and the per-zone nameserver-address report.
+#include <gtest/gtest.h>
+
+#include "zonecut/constructor.hpp"
+
+namespace ldp::zonecut {
+namespace {
+
+using dns::AData;
+using dns::Message;
+using dns::NameData;
+using dns::Rdata;
+using dns::ResourceRecord;
+using dns::RRType;
+using trace::Direction;
+using trace::TraceRecord;
+using zone::LookupStatus;
+
+Name mk(std::string_view s) { return *Name::parse(s); }
+
+ResourceRecord rr(std::string_view name, RRType type, Rdata rd, uint32_t ttl = 3600) {
+  return ResourceRecord{mk(name), type, dns::RRClass::IN, ttl, std::move(rd)};
+}
+
+const IpAddr kRootAddr{Ip4{198, 41, 0, 4}};
+const IpAddr kComAddr{Ip4{192, 5, 6, 30}};
+const IpAddr kGoogleAddr{Ip4{216, 239, 32, 10}};
+const IpAddr kRecursive{Ip4{10, 0, 0, 2}};
+
+TraceRecord response(TimeNs t, IpAddr server, Message msg) {
+  msg.header.qr = true;
+  return trace::make_query_record(t, Endpoint{server, 53},
+                                  Endpoint{kRecursive, 42001}, msg);
+}
+
+/// The upstream capture of one full iterative resolution of
+/// www.google.com A: root referral -> com referral -> final answer.
+std::vector<TraceRecord> resolution_chain() {
+  std::vector<TraceRecord> recs;
+
+  // Root's referral to com.
+  Message root_ref = Message::make_query(1, mk("www.google.com"), RRType::A, false);
+  root_ref.authorities.push_back(rr("com", RRType::NS, Rdata{NameData{mk("a.gtld-servers.net")}}));
+  root_ref.additionals.push_back(rr("a.gtld-servers.net", RRType::A,
+                                    Rdata{AData{Ip4{192, 5, 6, 30}}}));
+  recs.push_back(response(0, kRootAddr, root_ref));
+
+  // com's referral to google.com.
+  Message com_ref = Message::make_query(2, mk("www.google.com"), RRType::A, false);
+  com_ref.authorities.push_back(rr("google.com", RRType::NS, Rdata{NameData{mk("ns1.google.com")}}));
+  com_ref.additionals.push_back(rr("ns1.google.com", RRType::A,
+                                   Rdata{AData{Ip4{216, 239, 32, 10}}}));
+  recs.push_back(response(kMilli, kComAddr, com_ref));
+
+  // google.com's authoritative answer.
+  Message ans = Message::make_query(3, mk("www.google.com"), RRType::A, false);
+  ans.header.aa = true;
+  ans.answers.push_back(rr("www.google.com", RRType::A, Rdata{AData{Ip4{172, 217, 14, 4}}}));
+  ans.authorities.push_back(rr("google.com", RRType::NS, Rdata{NameData{mk("ns1.google.com")}}));
+  recs.push_back(response(2 * kMilli, kGoogleAddr, ans));
+
+  return recs;
+}
+
+TEST(ZoneConstructor, BuildsAllHierarchyLevels) {
+  auto result = build_zones(resolution_chain());
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  // Zones: root (ensured), com, google.com.
+  EXPECT_EQ(result->report.zones_built, 3u);
+  EXPECT_NE(result->zones.find_exact(mk(".")), nullptr);
+  EXPECT_NE(result->zones.find_exact(mk("com")), nullptr);
+  EXPECT_NE(result->zones.find_exact(mk("google.com")), nullptr);
+}
+
+TEST(ZoneConstructor, RootZoneReferralWorks) {
+  auto result = build_zones(resolution_chain());
+  ASSERT_TRUE(result.ok());
+  const zone::Zone* root = result->zones.find_exact(mk("."));
+  ASSERT_NE(root, nullptr);
+  auto res = root->lookup(mk("www.google.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::Delegation);
+  ASSERT_FALSE(res.authorities.empty());
+  EXPECT_EQ(res.authorities[0].name, mk("com"));
+  // Glue for a.gtld-servers.net travels with the referral.
+  ASSERT_FALSE(res.additionals.empty());
+  EXPECT_EQ(res.additionals[0].name, mk("a.gtld-servers.net"));
+}
+
+TEST(ZoneConstructor, ComZoneDelegatesToGoogle) {
+  auto result = build_zones(resolution_chain());
+  ASSERT_TRUE(result.ok());
+  const zone::Zone* com = result->zones.find_exact(mk("com"));
+  ASSERT_NE(com, nullptr);
+  auto res = com->lookup(mk("www.google.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::Delegation);
+  ASSERT_FALSE(res.authorities.empty());
+  EXPECT_EQ(res.authorities[0].name, mk("google.com"));
+  ASSERT_FALSE(res.additionals.empty());  // ns1.google.com glue recovered
+}
+
+TEST(ZoneConstructor, LeafZoneAnswers) {
+  auto result = build_zones(resolution_chain());
+  ASSERT_TRUE(result.ok());
+  const zone::Zone* google = result->zones.find_exact(mk("google.com"));
+  ASSERT_NE(google, nullptr);
+  auto res = google->lookup(mk("www.google.com"), RRType::A);
+  EXPECT_EQ(res.status, LookupStatus::Answer);
+  ASSERT_EQ(res.answers.size(), 1u);
+  const auto* a = res.answers[0].rdatas[0].get_if<AData>();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->addr.to_string(), "172.217.14.4");
+}
+
+TEST(ZoneConstructor, FakeSoaSynthesized) {
+  auto result = build_zones(resolution_chain());
+  ASSERT_TRUE(result.ok());
+  // None of the captured responses carried an SOA, so every zone got a
+  // fake-but-valid one (§2.3 "Recover Missing Data").
+  EXPECT_EQ(result->report.fake_soas, 3u);
+  for (const Name& origin : {mk("."), mk("com"), mk("google.com")}) {
+    const zone::Zone* z = result->zones.find_exact(origin);
+    ASSERT_NE(z, nullptr);
+    ASSERT_NE(z->soa(), nullptr) << origin.to_string();
+  }
+}
+
+TEST(ZoneConstructor, ZoneServersReported) {
+  auto result = build_zones(resolution_chain());
+  ASSERT_TRUE(result.ok());
+  auto& servers = result->zone_servers;
+  ASSERT_TRUE(servers.contains(mk("com")));
+  ASSERT_EQ(servers[mk("com")].size(), 1u);
+  EXPECT_TRUE(servers[mk("com")][0] == kComAddr);
+  ASSERT_TRUE(servers.contains(mk("google.com")));
+  EXPECT_TRUE(servers[mk("google.com")][0] == kGoogleAddr);
+}
+
+TEST(ZoneConstructor, FirstAnswerWinsOnConflict) {
+  auto recs = resolution_chain();
+  // A later response maps www.google.com to a different address (CDN-style
+  // rotation); the first answer must win.
+  Message later = Message::make_query(9, mk("www.google.com"), RRType::A, false);
+  later.answers.push_back(rr("www.google.com", RRType::A, Rdata{AData{Ip4{1, 2, 3, 4}}}));
+  recs.push_back(response(kSecond, kGoogleAddr, later));
+
+  auto result = build_zones(recs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->report.conflicts_first_wins, 1u);
+  const zone::Zone* google = result->zones.find_exact(mk("google.com"));
+  const auto* set = google->find(mk("www.google.com"), RRType::A);
+  ASSERT_NE(set, nullptr);
+  ASSERT_EQ(set->size(), 1u);
+  const auto* a = set->rdatas[0].get_if<AData>();
+  EXPECT_EQ(a->addr.to_string(), "172.217.14.4");
+}
+
+TEST(ZoneConstructor, AgreeingDuplicatesAreNotConflicts) {
+  auto recs = resolution_chain();
+  auto again = resolution_chain();
+  recs.insert(recs.end(), again.begin(), again.end());
+  auto result = build_zones(recs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->report.conflicts_first_wins, 0u);
+}
+
+TEST(ZoneConstructor, QueriesIgnoredUndecodableCounted) {
+  auto recs = resolution_chain();
+  Message q = Message::make_query(5, mk("other.example"), RRType::A);
+  recs.push_back(trace::make_query_record(0, Endpoint{kRecursive, 42001},
+                                          Endpoint{kRootAddr, 53}, q));
+  TraceRecord junk;
+  junk.direction = Direction::Response;
+  junk.dns_payload = {0xff, 0xfe};
+  recs.push_back(junk);
+
+  auto result = build_zones(recs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->report.undecodable, 1u);
+  EXPECT_EQ(result->report.zones_built, 3u);
+}
+
+TEST(ZoneConstructor, MultiRecordRRsetFromOneResponse) {
+  // Two NS records in one response form one 2-record RRset, not a conflict.
+  Message ref = Message::make_query(1, mk("x.example"), RRType::A, false);
+  ref.authorities.push_back(rr("example", RRType::NS, Rdata{NameData{mk("ns1.example")}}));
+  ref.authorities.push_back(rr("example", RRType::NS, Rdata{NameData{mk("ns2.example")}}));
+  auto result = build_zones({response(0, kRootAddr, ref)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->report.conflicts_first_wins, 0u);
+  const zone::Zone* z = result->zones.find_exact(mk("example"));
+  ASSERT_NE(z, nullptr);
+  const auto* ns = z->find(mk("example"), RRType::NS);
+  ASSERT_NE(ns, nullptr);
+  EXPECT_EQ(ns->size(), 2u);
+}
+
+TEST(ZoneConstructor, SingleZonePath) {
+  // §2.3's simpler authoritative-replay path: rebuild one zone from one
+  // server's responses.
+  Message ans = Message::make_query(1, mk("www.example.com"), RRType::A, false);
+  ans.header.aa = true;
+  ans.answers.push_back(rr("www.example.com", RRType::A, Rdata{AData{Ip4{192, 0, 2, 80}}}));
+  ans.authorities.push_back(rr("example.com", RRType::NS, Rdata{NameData{mk("ns1.example.com")}}));
+  ans.additionals.push_back(rr("ns1.example.com", RRType::A, Rdata{AData{Ip4{192, 0, 2, 1}}}));
+
+  // An out-of-zone record must be excluded.
+  ans.additionals.push_back(rr("stray.example.org", RRType::A, Rdata{AData{Ip4{9, 9, 9, 9}}}));
+
+  auto z = build_single_zone(mk("example.com"), {response(0, kGoogleAddr, ans)});
+  ASSERT_TRUE(z.ok()) << z.error().message;
+  EXPECT_NE(z->soa(), nullptr);  // fake SOA added
+  EXPECT_NE(z->find(mk("www.example.com"), RRType::A), nullptr);
+  EXPECT_FALSE(z->has_name(mk("stray.example.org")));
+  auto v = z->validate();
+  EXPECT_TRUE(v.ok()) << (v.ok() ? "" : v.error().message);
+}
+
+}  // namespace
+}  // namespace ldp::zonecut

@@ -1,0 +1,166 @@
+// ldp-replay: the distributed query engine as a command-line tool.
+//
+//   ldp-replay [options] <trace.pcap|trace.txt|trace.ldpb> <server-ip> <port>
+//
+//   --fast                 ignore trace timing, replay as fast as possible
+//   --distributors N       distribution fan-out (default 1)
+//   --queriers N           queriers per distributor (default 2)
+//   --transport udp|tcp|tls  override every query's transport (§5.2 what-if)
+//   --dnssec               set the DO bit on every query (§5.1 what-if)
+//   --prefix LABEL         prepend LABEL to every qname (replay matching)
+//   --scale F              multiply inter-arrival gaps by F (0.5 = 2x rate)
+//
+// Prints an EngineReport summary plus latency and timing-error quantiles.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "mutate/mutator.hpp"
+#include "replay/engine.hpp"
+#include "trace/binary.hpp"
+#include "trace/pcap.hpp"
+#include "trace/text.hpp"
+#include "util/stats.hpp"
+
+using namespace ldp;
+
+namespace {
+
+Result<std::vector<trace::TraceRecord>> load_trace(const std::string& path) {
+  if (path.size() > 5 && path.substr(path.size() - 5) == ".ldpb") {
+    auto reader = LDP_TRY(trace::BinaryReader::open(path));
+    return reader.read_all();
+  }
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
+    std::ifstream in(path);
+    if (!in) return Err("cannot open " + path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return trace::trace_from_text(ss.str());
+  }
+  auto reader = LDP_TRY(trace::PcapReader::open(path));
+  return reader.read_all();
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--fast] [--distributors N] [--queriers N]\n"
+               "          [--transport udp|tcp|tls] [--dnssec] [--prefix LABEL]\n"
+               "          [--scale F] <trace.{pcap,txt,ldpb}> <server-ip> <port>\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  replay::EngineConfig cfg;
+  mutate::MutatorPipeline mutator;
+  bool has_mutations = false;
+
+  int arg = 1;
+  for (; arg < argc && std::strncmp(argv[arg], "--", 2) == 0; ++arg) {
+    std::string opt = argv[arg];
+    auto need_value = [&]() -> const char* {
+      if (arg + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", opt.c_str());
+        std::exit(2);
+      }
+      return argv[++arg];
+    };
+    if (opt == "--fast") {
+      cfg.timed = false;
+    } else if (opt == "--distributors") {
+      cfg.distributors = std::strtoul(need_value(), nullptr, 10);
+    } else if (opt == "--queriers") {
+      cfg.queriers_per_distributor = std::strtoul(need_value(), nullptr, 10);
+    } else if (opt == "--transport") {
+      auto t = transport_from_string(need_value());
+      if (!t.ok()) {
+        std::fprintf(stderr, "%s\n", t.error().message.c_str());
+        return 2;
+      }
+      mutator.force_transport(*t);
+      has_mutations = true;
+    } else if (opt == "--dnssec") {
+      mutator.enable_dnssec(4096);
+      has_mutations = true;
+    } else if (opt == "--prefix") {
+      mutator.prefix_qnames(need_value());
+      has_mutations = true;
+    } else if (opt == "--scale") {
+      mutator.scale_time(std::strtod(need_value(), nullptr));
+      has_mutations = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (argc - arg != 3) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  auto records = load_trace(argv[arg]);
+  if (!records.ok()) {
+    std::fprintf(stderr, "trace load failed: %s\n", records.error().message.c_str());
+    return 1;
+  }
+  auto server_ip = IpAddr::parse(argv[arg + 1]);
+  if (!server_ip.ok()) {
+    std::fprintf(stderr, "%s\n", server_ip.error().message.c_str());
+    return 2;
+  }
+  cfg.server = Endpoint{*server_ip, static_cast<uint16_t>(
+                                        std::strtoul(argv[arg + 2], nullptr, 10))};
+
+  if (has_mutations) {
+    size_t malformed = 0;
+    *records = mutator.apply_all(std::move(*records), &malformed);
+    if (malformed > 0)
+      std::fprintf(stderr, "note: dropped %zu undecodable records\n", malformed);
+  }
+  std::fprintf(stderr, "replaying %zu queries to %s (%s mode)...\n", records->size(),
+               cfg.server.to_string().c_str(), cfg.timed ? "timed" : "fast");
+
+  replay::QueryEngine engine(cfg);
+  auto report = engine.replay(*records);
+  if (!report.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n", report.error().message.c_str());
+    return 1;
+  }
+
+  std::printf("queries sent:       %llu\n",
+              static_cast<unsigned long long>(report->queries_sent));
+  std::printf("responses received: %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(report->responses_received),
+              report->queries_sent > 0
+                  ? 100.0 * static_cast<double>(report->responses_received) /
+                        static_cast<double>(report->queries_sent)
+                  : 0.0);
+  std::printf("send errors:        %llu\n",
+              static_cast<unsigned long long>(report->send_errors));
+  std::printf("connections opened: %llu\n",
+              static_cast<unsigned long long>(report->connections_opened));
+  std::printf("duration:           %.3f s (%.0f q/s)\n", report->duration_s(),
+              report->rate_qps());
+
+  Sampler latency_ms, error_ms;
+  TimeNs t0 = records->front().timestamp;
+  for (const auto& sr : report->sends) {
+    if (sr.latency >= 0) latency_ms.add(ns_to_ms(sr.latency));
+    error_ms.add(ns_to_ms((sr.send_time - report->replay_start) -
+                          (sr.trace_time - t0)));
+  }
+  if (!latency_ms.empty()) {
+    auto l = latency_ms.summary();
+    std::printf("latency ms:         median %.2f  q1 %.2f  q3 %.2f  p95 %.2f\n",
+                l.median, l.q1, l.q3, l.p95);
+  }
+  if (cfg.timed) {
+    auto e = error_ms.summary();
+    std::printf("timing error ms:    median %.2f  q1 %.2f  q3 %.2f  min %.2f  max %.2f\n",
+                e.median, e.q1, e.q3, e.min, e.max);
+  }
+  return 0;
+}

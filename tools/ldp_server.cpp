@@ -1,0 +1,153 @@
+// ldp-server: the meta-DNS-server as a command-line tool. Loads one or more
+// zone files (and optionally a views.conf written by ldp-zone-construct)
+// and serves them over UDP+TCP until interrupted.
+//
+//   ldp-server [--port N] [--timeout SECONDS] [--views views.conf] <zone>...
+//
+// Without --views every zone lands in one catch-all view (a plain
+// authoritative server); with it, the split-horizon view set from the zone
+// constructor is recreated so the server can impersonate every nameserver
+// in a trace (§2.4).
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "server/frontend.hpp"
+#include "util/strings.hpp"
+#include "zone/parser.hpp"
+
+using namespace ldp;
+
+namespace {
+
+net::EventLoop* g_loop = nullptr;
+
+void handle_signal(int) {
+  if (g_loop != nullptr) g_loop->stop();
+}
+
+Result<zone::Zone> load_zone_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Err("cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return zone::parse_zone(ss.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 5353;
+  TimeNs timeout = 20 * kSecond;
+  std::string views_path;
+  std::vector<std::string> zone_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string opt = argv[i];
+    if (opt == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (opt == "--timeout" && i + 1 < argc) {
+      timeout = static_cast<TimeNs>(std::strtoul(argv[++i], nullptr, 10)) * kSecond;
+    } else if (opt == "--views" && i + 1 < argc) {
+      views_path = argv[++i];
+    } else if (opt.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--timeout SECONDS] [--views views.conf]"
+                   " <zone-file>...\n",
+                   argv[0]);
+      return 2;
+    } else {
+      zone_paths.push_back(opt);
+    }
+  }
+  if (zone_paths.empty() && views_path.empty()) {
+    std::fprintf(stderr, "no zones given\n");
+    return 2;
+  }
+
+  server::AuthServer auth;
+
+  if (!views_path.empty()) {
+    // views.conf lines: "view <zone-file> match-clients <addr>..."
+    std::ifstream vf(views_path);
+    if (!vf) {
+      std::fprintf(stderr, "cannot open %s\n", views_path.c_str());
+      return 1;
+    }
+    auto base_dir = std::filesystem::path(views_path).parent_path();
+    std::string line;
+    while (std::getline(vf, line)) {
+      auto stripped = trim(line);
+      if (stripped.empty() || stripped[0] == '#') continue;
+      auto toks = split_ws(stripped);
+      if (toks.size() < 3 || toks[0] != "view" || toks[2] != "match-clients") {
+        std::fprintf(stderr, "bad views.conf line: %s\n", line.c_str());
+        return 1;
+      }
+      auto zone = load_zone_file((base_dir / std::string(toks[1])).string());
+      if (!zone.ok()) {
+        std::fprintf(stderr, "%s\n", zone.error().message.c_str());
+        return 1;
+      }
+      zone::View& v = auth.views().add_view(std::string(toks[1]));
+      for (size_t t = 3; t < toks.size(); ++t) {
+        auto addr = IpAddr::parse(toks[t]);
+        if (!addr.ok()) {
+          std::fprintf(stderr, "%s\n", addr.error().message.c_str());
+          return 1;
+        }
+        v.match_clients.insert(*addr);
+      }
+      std::fprintf(stderr, "view %s: zone %s, %zu client addresses\n",
+                   std::string(toks[1]).c_str(), zone->origin().to_string().c_str(),
+                   v.match_clients.size());
+      if (auto r = v.zones.add(std::move(*zone)); !r.ok()) {
+        std::fprintf(stderr, "%s\n", r.error().message.c_str());
+        return 1;
+      }
+    }
+  }
+
+  for (const auto& path : zone_paths) {
+    auto zone = load_zone_file(path);
+    if (!zone.ok()) {
+      std::fprintf(stderr, "%s\n", zone.error().message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "zone %s: %zu records\n", zone->origin().to_string().c_str(),
+                 zone->record_count());
+    if (auto r = auth.default_zones().add(std::move(*zone)); !r.ok()) {
+      std::fprintf(stderr, "%s\n", r.error().message.c_str());
+      return 1;
+    }
+  }
+
+  net::EventLoop loop;
+  server::FrontendConfig fe_cfg;
+  fe_cfg.bind = Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, port};
+  fe_cfg.tcp_idle_timeout = timeout;
+  auto frontend = server::ServerFrontend::start(loop, auth, fe_cfg);
+  if (!frontend.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 frontend.error().message.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "serving on %s (UDP+TCP, %llds idle timeout); ^C to stop\n",
+               (*frontend)->endpoint().to_string().c_str(),
+               static_cast<long long>(timeout / kSecond));
+
+  g_loop = &loop;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  loop.run();
+
+  const auto& stats = auth.stats();
+  std::fprintf(stderr, "served %llu queries (%llu refused, %llu nxdomain)\n",
+               static_cast<unsigned long long>(stats.queries.load()),
+               static_cast<unsigned long long>(stats.refused.load()),
+               static_cast<unsigned long long>(stats.nxdomain.load()));
+  return 0;
+}

@@ -1,0 +1,133 @@
+// ldp-trace-convert: convert DNS traces between the three LDplayer input
+// formats (Figure 3): pcap network traces, the editable plain-text form,
+// and the customized binary replay stream.
+//
+//   ldp-trace-convert <in.pcap|in.txt|in.ldpb> <out.pcap|out.txt|out.ldpb>
+//
+// Format is inferred from the file extension (.pcap, .txt, .ldpb). Response
+// records survive pcap<->ldpb conversion; text output keeps queries only
+// (replay regenerates responses from zones).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "trace/binary.hpp"
+#include "trace/erf.hpp"
+#include "trace/pcap.hpp"
+#include "trace/stats.hpp"
+#include "trace/text.hpp"
+
+using namespace ldp;
+
+namespace {
+
+enum class Format { Pcap, Erf, Text, Binary };
+
+Result<Format> format_of(const std::string& path) {
+  auto dot = path.rfind('.');
+  if (dot == std::string::npos) return Err("no file extension: " + path);
+  std::string ext = path.substr(dot + 1);
+  if (ext == "pcap" || ext == "cap") return Format::Pcap;
+  if (ext == "erf") return Format::Erf;
+  if (ext == "txt" || ext == "text") return Format::Text;
+  if (ext == "ldpb" || ext == "bin") return Format::Binary;
+  return Err("unknown extension ." + ext + " (use .pcap, .erf, .txt or .ldpb)");
+}
+
+Result<std::vector<trace::TraceRecord>> load(const std::string& path, Format fmt) {
+  switch (fmt) {
+    case Format::Pcap: {
+      auto reader = LDP_TRY(trace::PcapReader::open(path));
+      auto records = LDP_TRY(reader.read_all());
+      if (reader.skipped() > 0)
+        std::fprintf(stderr, "note: skipped %llu non-DNS packets\n",
+                     static_cast<unsigned long long>(reader.skipped()));
+      return records;
+    }
+    case Format::Erf: {
+      auto reader = LDP_TRY(trace::ErfReader::open(path));
+      auto records = LDP_TRY(reader.read_all());
+      if (reader.skipped() > 0)
+        std::fprintf(stderr, "note: skipped %llu non-DNS records\n",
+                     static_cast<unsigned long long>(reader.skipped()));
+      return records;
+    }
+    case Format::Binary: {
+      auto reader = LDP_TRY(trace::BinaryReader::open(path));
+      return reader.read_all();
+    }
+    case Format::Text: {
+      std::ifstream in(path);
+      if (!in) return Err("cannot open " + path);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      return trace::trace_from_text(ss.str());
+    }
+  }
+  return Err("unreachable");
+}
+
+Result<void> store(const std::string& path, Format fmt,
+                   const std::vector<trace::TraceRecord>& records) {
+  switch (fmt) {
+    case Format::Pcap: {
+      trace::PcapWriter w;
+      for (const auto& rec : records) w.add(rec);
+      return w.save(path);
+    }
+    case Format::Erf: {
+      trace::ErfWriter w;
+      for (const auto& rec : records) w.add(rec);
+      return w.save(path);
+    }
+    case Format::Binary: {
+      trace::BinaryWriter w;
+      for (const auto& rec : records) w.add(rec);
+      return w.save(path);
+    }
+    case Format::Text: {
+      auto text = LDP_TRY(trace::trace_to_text(records));
+      std::ofstream out(path);
+      if (!out) return Err("cannot write " + path);
+      out << text;
+      return Ok();
+    }
+  }
+  return Err("unreachable");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <input> <output>\n"
+                         "formats by extension: .pcap .erf .txt .ldpb\n",
+                 argv[0]);
+    return 2;
+  }
+  auto in_fmt = format_of(argv[1]);
+  auto out_fmt = format_of(argv[2]);
+  if (!in_fmt.ok() || !out_fmt.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!in_fmt.ok() ? in_fmt.error() : out_fmt.error()).message.c_str());
+    return 2;
+  }
+
+  auto records = load(argv[1], *in_fmt);
+  if (!records.ok()) {
+    std::fprintf(stderr, "read error: %s\n", records.error().message.c_str());
+    return 1;
+  }
+  auto stats = trace::compute_stats(*records);
+  std::fprintf(stderr, "loaded %zu records (%zu queries, %zu clients, %.1fs)\n",
+               stats.records, stats.queries, stats.unique_clients,
+               stats.duration_s());
+
+  if (auto r = store(argv[2], *out_fmt, *records); !r.ok()) {
+    std::fprintf(stderr, "write error: %s\n", r.error().message.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", argv[2]);
+  return 0;
+}
