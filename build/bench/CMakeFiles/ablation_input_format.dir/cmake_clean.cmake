@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_input_format.dir/ablation_input_format.cpp.o"
+  "CMakeFiles/ablation_input_format.dir/ablation_input_format.cpp.o.d"
+  "ablation_input_format"
+  "ablation_input_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_input_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_dos_attack.dir/app_dos_attack.cpp.o"
+  "CMakeFiles/app_dos_attack.dir/app_dos_attack.cpp.o.d"
+  "app_dos_attack"
+  "app_dos_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_dos_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dnssec.dir/fig10_dnssec.cpp.o"
+  "CMakeFiles/fig10_dnssec.dir/fig10_dnssec.cpp.o.d"
+  "fig10_dnssec"
+  "fig10_dnssec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dnssec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

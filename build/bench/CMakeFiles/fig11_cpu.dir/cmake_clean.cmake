@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cpu.dir/fig11_cpu.cpp.o"
+  "CMakeFiles/fig11_cpu.dir/fig11_cpu.cpp.o.d"
+  "fig11_cpu"
+  "fig11_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_tls_memory.dir/fig14_tls_memory.cpp.o"
+  "CMakeFiles/fig14_tls_memory.dir/fig14_tls_memory.cpp.o.d"
+  "fig14_tls_memory"
+  "fig14_tls_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_tls_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

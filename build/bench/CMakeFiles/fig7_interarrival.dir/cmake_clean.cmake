@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_interarrival.dir/fig7_interarrival.cpp.o"
+  "CMakeFiles/fig7_interarrival.dir/fig7_interarrival.cpp.o.d"
+  "fig7_interarrival"
+  "fig7_interarrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_emulation.dir/hierarchy_emulation.cpp.o"
+  "CMakeFiles/hierarchy_emulation.dir/hierarchy_emulation.cpp.o.d"
+  "hierarchy_emulation"
+  "hierarchy_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

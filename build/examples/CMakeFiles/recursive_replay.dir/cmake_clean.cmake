@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_replay.dir/recursive_replay.cpp.o"
+  "CMakeFiles/recursive_replay.dir/recursive_replay.cpp.o.d"
+  "recursive_replay"
+  "recursive_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

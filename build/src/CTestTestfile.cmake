@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("dns")
+subdirs("zone")
+subdirs("trace")
+subdirs("mutate")
+subdirs("zonecut")
+subdirs("proxy")
+subdirs("synth")
+subdirs("net")
+subdirs("simnet")
+subdirs("server")
+subdirs("resolver")
+subdirs("replay")

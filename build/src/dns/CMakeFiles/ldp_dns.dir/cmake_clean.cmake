@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_dns.dir/message.cpp.o"
+  "CMakeFiles/ldp_dns.dir/message.cpp.o.d"
+  "CMakeFiles/ldp_dns.dir/name.cpp.o"
+  "CMakeFiles/ldp_dns.dir/name.cpp.o.d"
+  "CMakeFiles/ldp_dns.dir/rdata.cpp.o"
+  "CMakeFiles/ldp_dns.dir/rdata.cpp.o.d"
+  "CMakeFiles/ldp_dns.dir/rr.cpp.o"
+  "CMakeFiles/ldp_dns.dir/rr.cpp.o.d"
+  "CMakeFiles/ldp_dns.dir/types.cpp.o"
+  "CMakeFiles/ldp_dns.dir/types.cpp.o.d"
+  "CMakeFiles/ldp_dns.dir/wire.cpp.o"
+  "CMakeFiles/ldp_dns.dir/wire.cpp.o.d"
+  "libldp_dns.a"
+  "libldp_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_proxy.dir/pipeline.cpp.o"
+  "CMakeFiles/ldp_proxy.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ldp_proxy.dir/proxy.cpp.o"
+  "CMakeFiles/ldp_proxy.dir/proxy.cpp.o.d"
+  "libldp_proxy.a"
+  "libldp_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

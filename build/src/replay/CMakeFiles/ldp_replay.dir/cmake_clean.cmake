@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_replay.dir/engine.cpp.o"
+  "CMakeFiles/ldp_replay.dir/engine.cpp.o.d"
+  "CMakeFiles/ldp_replay.dir/multi.cpp.o"
+  "CMakeFiles/ldp_replay.dir/multi.cpp.o.d"
+  "libldp_replay.a"
+  "libldp_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

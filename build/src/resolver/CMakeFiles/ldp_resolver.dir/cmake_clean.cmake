@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_resolver.dir/cache.cpp.o"
+  "CMakeFiles/ldp_resolver.dir/cache.cpp.o.d"
+  "CMakeFiles/ldp_resolver.dir/frontend.cpp.o"
+  "CMakeFiles/ldp_resolver.dir/frontend.cpp.o.d"
+  "CMakeFiles/ldp_resolver.dir/resolver.cpp.o"
+  "CMakeFiles/ldp_resolver.dir/resolver.cpp.o.d"
+  "libldp_resolver.a"
+  "libldp_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/auth_server.cpp" "src/server/CMakeFiles/ldp_server.dir/auth_server.cpp.o" "gcc" "src/server/CMakeFiles/ldp_server.dir/auth_server.cpp.o.d"
+  "/root/repo/src/server/frontend.cpp" "src/server/CMakeFiles/ldp_server.dir/frontend.cpp.o" "gcc" "src/server/CMakeFiles/ldp_server.dir/frontend.cpp.o.d"
+  "/root/repo/src/server/shard.cpp" "src/server/CMakeFiles/ldp_server.dir/shard.cpp.o" "gcc" "src/server/CMakeFiles/ldp_server.dir/shard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zone/CMakeFiles/ldp_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ldp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/ldp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_server.dir/auth_server.cpp.o"
+  "CMakeFiles/ldp_server.dir/auth_server.cpp.o.d"
+  "CMakeFiles/ldp_server.dir/frontend.cpp.o"
+  "CMakeFiles/ldp_server.dir/frontend.cpp.o.d"
+  "CMakeFiles/ldp_server.dir/shard.cpp.o"
+  "CMakeFiles/ldp_server.dir/shard.cpp.o.d"
+  "libldp_server.a"
+  "libldp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_simnet.dir/replay_sim.cpp.o"
+  "CMakeFiles/ldp_simnet.dir/replay_sim.cpp.o.d"
+  "CMakeFiles/ldp_simnet.dir/sim.cpp.o"
+  "CMakeFiles/ldp_simnet.dir/sim.cpp.o.d"
+  "libldp_simnet.a"
+  "libldp_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_synth.dir/generator.cpp.o"
+  "CMakeFiles/ldp_synth.dir/generator.cpp.o.d"
+  "libldp_synth.a"
+  "libldp_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

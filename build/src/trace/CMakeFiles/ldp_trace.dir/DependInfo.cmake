@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary.cpp" "src/trace/CMakeFiles/ldp_trace.dir/binary.cpp.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/binary.cpp.o.d"
+  "/root/repo/src/trace/erf.cpp" "src/trace/CMakeFiles/ldp_trace.dir/erf.cpp.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/erf.cpp.o.d"
+  "/root/repo/src/trace/packet.cpp" "src/trace/CMakeFiles/ldp_trace.dir/packet.cpp.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/packet.cpp.o.d"
+  "/root/repo/src/trace/pcap.cpp" "src/trace/CMakeFiles/ldp_trace.dir/pcap.cpp.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/pcap.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/ldp_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/ldp_trace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/stats.cpp.o.d"
+  "/root/repo/src/trace/text.cpp" "src/trace/CMakeFiles/ldp_trace.dir/text.cpp.o" "gcc" "src/trace/CMakeFiles/ldp_trace.dir/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/ldp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_trace.dir/binary.cpp.o"
+  "CMakeFiles/ldp_trace.dir/binary.cpp.o.d"
+  "CMakeFiles/ldp_trace.dir/erf.cpp.o"
+  "CMakeFiles/ldp_trace.dir/erf.cpp.o.d"
+  "CMakeFiles/ldp_trace.dir/packet.cpp.o"
+  "CMakeFiles/ldp_trace.dir/packet.cpp.o.d"
+  "CMakeFiles/ldp_trace.dir/pcap.cpp.o"
+  "CMakeFiles/ldp_trace.dir/pcap.cpp.o.d"
+  "CMakeFiles/ldp_trace.dir/record.cpp.o"
+  "CMakeFiles/ldp_trace.dir/record.cpp.o.d"
+  "CMakeFiles/ldp_trace.dir/stats.cpp.o"
+  "CMakeFiles/ldp_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/ldp_trace.dir/text.cpp.o"
+  "CMakeFiles/ldp_trace.dir/text.cpp.o.d"
+  "libldp_trace.a"
+  "libldp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_util.dir/base64.cpp.o"
+  "CMakeFiles/ldp_util.dir/base64.cpp.o.d"
+  "CMakeFiles/ldp_util.dir/bytes.cpp.o"
+  "CMakeFiles/ldp_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/ldp_util.dir/ip.cpp.o"
+  "CMakeFiles/ldp_util.dir/ip.cpp.o.d"
+  "CMakeFiles/ldp_util.dir/log.cpp.o"
+  "CMakeFiles/ldp_util.dir/log.cpp.o.d"
+  "CMakeFiles/ldp_util.dir/stats.cpp.o"
+  "CMakeFiles/ldp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ldp_util.dir/strings.cpp.o"
+  "CMakeFiles/ldp_util.dir/strings.cpp.o.d"
+  "libldp_util.a"
+  "libldp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_zone.dir/parser.cpp.o"
+  "CMakeFiles/ldp_zone.dir/parser.cpp.o.d"
+  "CMakeFiles/ldp_zone.dir/view.cpp.o"
+  "CMakeFiles/ldp_zone.dir/view.cpp.o.d"
+  "CMakeFiles/ldp_zone.dir/zone.cpp.o"
+  "CMakeFiles/ldp_zone.dir/zone.cpp.o.d"
+  "libldp_zone.a"
+  "libldp_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_zonecut.dir/constructor.cpp.o"
+  "CMakeFiles/ldp_zonecut.dir/constructor.cpp.o.d"
+  "libldp_zonecut.a"
+  "libldp_zonecut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_zonecut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_rdata_test.dir/dns_rdata_test.cpp.o"
+  "CMakeFiles/dns_rdata_test.dir/dns_rdata_test.cpp.o.d"
+  "dns_rdata_test"
+  "dns_rdata_test.pdb"
+  "dns_rdata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_rdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erf_test.dir/erf_test.cpp.o"
+  "CMakeFiles/erf_test.dir/erf_test.cpp.o.d"
+  "erf_test"
+  "erf_test.pdb"
+  "erf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_replay_test.dir/recursive_replay_test.cpp.o"
+  "CMakeFiles/recursive_replay_test.dir/recursive_replay_test.cpp.o.d"
+  "recursive_replay_test"
+  "recursive_replay_test.pdb"
+  "recursive_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

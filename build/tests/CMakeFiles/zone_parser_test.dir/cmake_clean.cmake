@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_parser_test.dir/zone_parser_test.cpp.o"
+  "CMakeFiles/zone_parser_test.dir/zone_parser_test.cpp.o.d"
+  "zone_parser_test"
+  "zone_parser_test.pdb"
+  "zone_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

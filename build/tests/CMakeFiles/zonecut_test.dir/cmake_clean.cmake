@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zonecut_test.dir/zonecut_test.cpp.o"
+  "CMakeFiles/zonecut_test.dir/zonecut_test.cpp.o.d"
+  "zonecut_test"
+  "zonecut_test.pdb"
+  "zonecut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zonecut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

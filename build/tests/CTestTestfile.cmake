@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_name_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_rdata_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_message_test[1]_include.cmake")
+include("/root/repo/build/tests/zone_test[1]_include.cmake")
+include("/root/repo/build/tests/zone_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/mutate_test[1]_include.cmake")
+include("/root/repo/build/tests/proxy_test[1]_include.cmake")
+include("/root/repo/build/tests/zonecut_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/recursive_replay_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/erf_test[1]_include.cmake")
+include("/root/repo/build/tests/reassembly_test[1]_include.cmake")
+include("/root/repo/build/tests/crossval_test[1]_include.cmake")
+add_test(cli_smoke "bash" "/root/repo/tests/cli_smoke.sh" "/root/repo/build/tools/ldp-synth" "/root/repo/build/tools/ldp-trace-convert" "/root/repo/build/tools/ldp-zone-construct" "/root/repo/build/tools/ldp-server" "/root/repo/build/tools/ldp-replay")
+set_tests_properties(cli_smoke PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_replay.dir/ldp_replay.cpp.o"
+  "CMakeFiles/tool_replay.dir/ldp_replay.cpp.o.d"
+  "ldp-replay"
+  "ldp-replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_server.dir/ldp_server.cpp.o"
+  "CMakeFiles/tool_server.dir/ldp_server.cpp.o.d"
+  "ldp-server"
+  "ldp-server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

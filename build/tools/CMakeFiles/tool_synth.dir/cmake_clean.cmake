@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_synth.dir/ldp_synth.cpp.o"
+  "CMakeFiles/tool_synth.dir/ldp_synth.cpp.o.d"
+  "ldp-synth"
+  "ldp-synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_trace_convert.dir/ldp_trace_convert.cpp.o"
+  "CMakeFiles/tool_trace_convert.dir/ldp_trace_convert.cpp.o.d"
+  "ldp-trace-convert"
+  "ldp-trace-convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_trace_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

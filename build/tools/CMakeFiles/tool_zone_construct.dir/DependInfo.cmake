@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/ldp_zone_construct.cpp" "tools/CMakeFiles/tool_zone_construct.dir/ldp_zone_construct.cpp.o" "gcc" "tools/CMakeFiles/tool_zone_construct.dir/ldp_zone_construct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zonecut/CMakeFiles/ldp_zonecut.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ldp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/ldp_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/ldp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

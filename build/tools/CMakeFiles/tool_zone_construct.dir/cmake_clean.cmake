@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_zone_construct.dir/ldp_zone_construct.cpp.o"
+  "CMakeFiles/tool_zone_construct.dir/ldp_zone_construct.cpp.o.d"
+  "ldp-zone-construct"
+  "ldp-zone-construct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_zone_construct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

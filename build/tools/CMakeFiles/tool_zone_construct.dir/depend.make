@@ -1,0 +1,2 @@
+# Empty dependencies file for tool_zone_construct.
+# This may be replaced when dependencies are built.
