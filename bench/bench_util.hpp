@@ -12,12 +12,33 @@
 #include <string>
 
 #include "mutate/mutator.hpp"
+#include "replay/engine.hpp"
 #include "server/auth_server.hpp"
 #include "synth/generator.hpp"
 #include "util/stats.hpp"
 #include "zone/parser.hpp"
 
 namespace ldp::bench {
+
+/// One-line loss accounting for a replay (Figs 6-9 riders): how many of the
+/// scheduled queries actually completed, and what happened to the rest.
+/// A nonzero `lost` column means the fidelity numbers above it describe
+/// only the surviving queries — see EXPERIMENTS.md "interpreting loss".
+inline void print_loss_counters(const replay::EngineReport& r) {
+  const auto& lc = r.lifecycle;
+  std::printf(
+      "  loss accounting: sent %llu  answered %llu  lost %llu  timeouts %llu"
+      "  retries %llu  dup-ids %llu  max-in-flight %llu\n",
+      static_cast<unsigned long long>(r.queries_sent),
+      static_cast<unsigned long long>(r.responses_received),
+      static_cast<unsigned long long>(lc.expired),
+      static_cast<unsigned long long>(lc.timeouts),
+      static_cast<unsigned long long>(lc.retries),
+      static_cast<unsigned long long>(lc.duplicate_ids),
+      static_cast<unsigned long long>(r.max_in_flight));
+  if (!r.latency_hist.empty())
+    std::printf("  latency: %s\n", r.latency_hist.summary_ms().c_str());
+}
 
 /// Print a boxplot-style row: median [q1, q3] (p5, p95).
 inline void print_summary_row(const std::string& label, const Summary& s,

@@ -27,6 +27,7 @@ Summary replay_timing_error(const std::vector<trace::TraceRecord>& trace,
     std::fprintf(stderr, "replay failed: %s\n", report.error().message.c_str());
     return {};
   }
+  bench::print_loss_counters(*report);
   TimeNs t0 = trace.front().timestamp;
   Sampler error_ms;
   // Ignore the first second of replay to skip startup transients (the

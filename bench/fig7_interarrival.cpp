@@ -45,6 +45,7 @@ void interarrival_cdf(const char* label, const std::vector<trace::TraceRecord>& 
     std::printf("    %5.0f%% %14.6f %14.6f\n", q * 100, original.quantile(q),
                 replayed.quantile(q));
   }
+  bench::print_loss_counters(*report);
 }
 
 }  // namespace

@@ -72,6 +72,7 @@ int main() {
         "  q1 %+.3f  q3 %+.3f  min %+.3f  max %+.3f\n",
         trial, counted, 100.0 * static_cast<double>(within_01) / counted, sum.median,
         sum.q1, sum.q3, sum.min, sum.max);
+    bench::print_loss_counters(*report);
   }
 
   std::printf(

@@ -45,6 +45,8 @@ int main() {
   uint64_t total = 0;
   TimeNs last_mark = bench_start;
   uint64_t last_total = 0;
+  metrics::LifecycleCounters lifecycle;
+  uint64_t answered_total = 0, max_in_flight = 0;
 
   // Run repeated fast-mode batches for ~20 s, sampling every ~2 s.
   while (mono_now_ns() - bench_start < 20 * kSecond) {
@@ -58,6 +60,9 @@ int main() {
     auto report = engine.replay(batch);
     if (!report.ok()) break;
     total += report->queries_sent;
+    answered_total += report->responses_received;
+    lifecycle.merge(report->lifecycle);
+    max_in_flight = std::max(max_in_flight, report->max_in_flight);
 
     TimeNs now = mono_now_ns();
     if (now - last_mark >= 2 * kSecond) {
@@ -72,6 +77,18 @@ int main() {
   double total_dt = ns_to_sec(mono_now_ns() - bench_start);
   std::printf("  overall: %.0f q/s sent over %.1f s (%zu-byte queries)\n",
               static_cast<double>(total) / total_dt, total_dt, query_bytes);
+  // Loss accounting across all batches: fast-mode floods legitimately lose
+  // queries to loopback buffer overruns; the counters make that loss
+  // explicit instead of leaving it implied by the server-side rate gap.
+  std::printf(
+      "  client lifecycle: answered %llu  lost %llu  timeouts %llu  retries %llu"
+      "  deferred-sends %llu  max-in-flight %llu\n",
+      static_cast<unsigned long long>(answered_total),
+      static_cast<unsigned long long>(lifecycle.expired),
+      static_cast<unsigned long long>(lifecycle.timeouts),
+      static_cast<unsigned long long>(lifecycle.retries),
+      static_cast<unsigned long long>(lifecycle.deferred_sends),
+      static_cast<unsigned long long>(max_in_flight));
   // Server-side view: what actually got through and was answered (fast-mode
   // UDP floods overrun loopback buffers; the paper measures at the server).
   uint64_t answered = (*bg)->auth().stats().queries.load();

@@ -13,9 +13,17 @@ namespace ldp::net {
 
 namespace {
 
+// Surface the failing syscall with its errno preserved in Error::sys_errno,
+// so upper layers (the replay engine's connection-loss handling) can react
+// to the condition rather than the message text.
+Error sys_error(const char* op) {
+  int err = errno;
+  return Error{std::string(op) + ": " + std::strerror(err), err};
+}
+
 Result<Fd> make_socket(int type) {
   int fd = ::socket(AF_INET, type | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd < 0) return Err(std::string("socket: ") + std::strerror(errno));
+  if (fd < 0) return sys_error("socket");
   return Fd(fd);
 }
 
@@ -35,7 +43,7 @@ Result<Endpoint> local_of(int fd) {
   sockaddr_in sa{};
   socklen_t len = sizeof(sa);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0)
-    return Err(std::string("getsockname: ") + std::strerror(errno));
+    return sys_error("getsockname");
   return from_sockaddr(sa);
 }
 
@@ -55,7 +63,7 @@ Result<UdpSocket> UdpSocket::bind(const Endpoint& local) {
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in sa = to_sockaddr(local);
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
-    return Err(std::string("bind: ") + std::strerror(errno));
+    return sys_error("bind");
   return UdpSocket(std::move(fd));
 }
 
@@ -72,7 +80,7 @@ Result<bool> UdpSocket::send_to(const Endpoint& dst, std::span<const uint8_t> pa
                        reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
   if (n < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) return false;
-    return Err(std::string("sendto: ") + std::strerror(errno));
+    return sys_error("sendto");
   }
   return true;
 }
@@ -85,7 +93,7 @@ Result<std::optional<UdpSocket::Datagram>> UdpSocket::recv() {
                          reinterpret_cast<sockaddr*>(&sa), &len);
   if (n < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return std::optional<Datagram>{};
-    return Err(std::string("recvfrom: ") + std::strerror(errno));
+    return sys_error("recvfrom");
   }
   Datagram dg;
   dg.from = from_sockaddr(sa);
@@ -98,7 +106,7 @@ Result<TcpStream> TcpStream::connect(const Endpoint& remote) {
   sockaddr_in sa = to_sockaddr(remote);
   if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 &&
       errno != EINPROGRESS)
-    return Err(std::string("connect: ") + std::strerror(errno));
+    return sys_error("connect");
   return TcpStream(std::move(fd), remote);
 }
 
@@ -118,7 +126,7 @@ Result<size_t> TcpStream::flush() {
     ssize_t n = ::send(fd_.get(), out_.data(), out_.size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return out_.size();
-      return Err(std::string("send: ") + std::strerror(errno));
+      return sys_error("send");
     }
     out_.erase(out_.begin(), out_.begin() + n);
   }
@@ -133,7 +141,7 @@ Result<std::vector<std::vector<uint8_t>>> TcpStream::read_messages(bool& closed)
     ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      return Err(std::string("recv: ") + std::strerror(errno));
+      return sys_error("recv");
     }
     if (n == 0) {
       closed = true;
@@ -157,7 +165,7 @@ Result<std::vector<std::vector<uint8_t>>> TcpStream::read_messages(bool& closed)
 Result<void> TcpStream::set_nodelay(bool on) {
   int v = on ? 1 : 0;
   if (::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) != 0)
-    return Err(std::string("TCP_NODELAY: ") + std::strerror(errno));
+    return sys_error("TCP_NODELAY");
   return Ok();
 }
 
@@ -167,9 +175,9 @@ Result<TcpListener> TcpListener::listen(const Endpoint& local, int backlog) {
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in sa = to_sockaddr(local);
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
-    return Err(std::string("bind: ") + std::strerror(errno));
+    return sys_error("bind");
   if (::listen(fd.get(), backlog) != 0)
-    return Err(std::string("listen: ") + std::strerror(errno));
+    return sys_error("listen");
   return TcpListener(std::move(fd));
 }
 
@@ -182,7 +190,7 @@ Result<std::optional<TcpStream>> TcpListener::accept() {
                      SOCK_NONBLOCK | SOCK_CLOEXEC);
   if (fd < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return std::optional<TcpStream>{};
-    return Err(std::string("accept: ") + std::strerror(errno));
+    return sys_error("accept");
   }
   return std::optional<TcpStream>{TcpStream::from_accepted(Fd(fd), from_sockaddr(sa))};
 }

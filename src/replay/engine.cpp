@@ -3,6 +3,7 @@
 #include <sys/eventfd.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/log.hpp"
@@ -13,10 +14,40 @@ using trace::TraceRecord;
 
 namespace {
 constexpr TimeNs kStartupLead = 100 * kMilli;  // let worker threads spin up
+// Resend delay for queries that never reached the wire (kernel buffer
+// full): short, so the backlog clears as soon as the kernel drains.
+constexpr TimeNs kDeferredSendDelay = 10 * kMilli;
+}  // namespace
+
+void EngineReport::merge_from(EngineReport&& other) {
+  queries_sent += other.queries_sent;
+  responses_received += other.responses_received;
+  send_errors += other.send_errors;
+  connections_opened += other.connections_opened;
+  mutator_dropped += other.mutator_dropped;
+  max_in_flight = std::max(max_in_flight, other.max_in_flight);
+  lifecycle.merge(other.lifecycle);
+  latency_hist.merge(other.latency_hist);
+  replay_end = std::max(replay_end, other.replay_end);
+  // Fast mode sends before the startup-lead origin; lower the start to the
+  // first real send so duration/rate stay meaningful (timed sends are never
+  // earlier than the origin, so this is a no-op there).
+  for (const auto& sr : other.sends) {
+    if (replay_start == 0 || sr.send_time < replay_start)
+      replay_start = sr.send_time;
+  }
+  sends.insert(sends.end(), std::make_move_iterator(other.sends.begin()),
+               std::make_move_iterator(other.sends.end()));
 }
 
 // ---------------------------------------------------------------------------
 // Querier: one thread, one event loop, sockets pinned per query source.
+// Every in-flight query lives in exactly one PendingTable (per UDP socket /
+// per TCP connection) from send until a terminal outcome: answered,
+// timed-out after the retry budget, or errored. A single lifecycle timer,
+// armed at the earliest deadline across tables, drives retransmits and
+// expiry, so pending state is bounded by the retry window even when the
+// server never answers.
 // ---------------------------------------------------------------------------
 class QueryEngine::Querier {
  public:
@@ -46,12 +77,18 @@ class QueryEngine::Querier {
   }
 
  private:
+  struct UdpSock {
+    std::unique_ptr<net::UdpSocket> sock;
+    PendingTable pending;
+  };
+
   struct TcpConn {
     net::TcpStream stream;
     bool connected = false;
     TimeNs last_activity = 0;
+    uint32_t reconnects_used = 0;  // reconnect budget consumed for this source
     std::vector<std::vector<uint8_t>> backlog;  // queued until connected
-    std::unordered_map<uint16_t, size_t> pending;  // dns id -> send index
+    PendingTable pending;
 
     explicit TcpConn(net::TcpStream s) : stream(std::move(s)) {}
   };
@@ -104,6 +141,17 @@ class QueryEngine::Querier {
     send_query(rec);  // behind schedule or fast mode: send immediately
   }
 
+  void note_in_flight(int64_t delta) {
+    in_flight_ += delta;
+    report_.max_in_flight =
+        std::max(report_.max_in_flight, static_cast<uint64_t>(in_flight_));
+  }
+
+  void fail_send(size_t index) {
+    ++report_.send_errors;
+    report_.sends[index].outcome = QueryOutcome::Errored;
+  }
+
   void send_query(const TraceRecord& rec) {
     size_t index = report_.sends.size();
     SendRecord sr;
@@ -111,59 +159,91 @@ class QueryEngine::Querier {
     sr.send_time = mono_now_ns();
     sr.querier = id_;
     report_.sends.push_back(sr);
+    ++report_.queries_sent;
+    last_send_ = sr.send_time;
 
-    uint16_t dns_id = rec.dns_payload.size() >= 2
-                          ? static_cast<uint16_t>(rec.dns_payload[0] << 8 |
-                                                  rec.dns_payload[1])
-                          : 0;
+    PendingQuery pq;
+    pq.key = next_key_++;
+    pq.dns_id = rec.dns_payload.size() >= 2
+                    ? static_cast<uint16_t>(rec.dns_payload[0] << 8 |
+                                            rec.dns_payload[1])
+                    : 0;
+    pq.send_index = index;
+    pq.transport = rec.transport;
+    pq.first_send = sr.send_time;
+    pq.payload = rec.dns_payload;
 
     if (rec.transport == Transport::Udp) {
-      net::UdpSocket* sock = udp_socket_for(rec.src.addr);
-      if (sock == nullptr) {
-        ++report_.send_errors;
+      UdpSock* us = udp_socket_for(rec.src.addr);
+      if (us == nullptr) {
+        fail_send(index);
         return;
       }
-      auto sent = sock->send_to(config_.server, rec.dns_payload);
-      if (!sent.ok() || !*sent) {
-        ++report_.send_errors;
+      auto sent = us->sock->send_to(config_.server, pq.payload);
+      if (!sent.ok()) {
+        fail_send(index);
         return;
       }
-      udp_pending_[sock->fd()][dns_id] = index;
+      if (*sent) {
+        pq.deadline = pq.first_send + config_.query_timeout;
+      } else {
+        // Kernel buffer full: the query stays alive in the pending table
+        // and the lifecycle timer puts it on the wire shortly — it is
+        // deferred, not silently lost.
+        pq.wire_sent = false;
+        pq.deadline = pq.first_send + kDeferredSendDelay;
+        ++report_.lifecycle.deferred_sends;
+      }
+      TimeNs deadline = pq.deadline;
+      if (us->pending.insert(std::move(pq))) ++report_.lifecycle.duplicate_ids;
+      note_in_flight(+1);
+      schedule_lifecycle(deadline);
     } else {
       TcpConn* conn = tcp_conn_for(rec.src.addr);
       if (conn == nullptr) {
-        ++report_.send_errors;
+        fail_send(index);
         return;
       }
-      conn->last_activity = mono_now_ns();
-      conn->pending[dns_id] = index;
+      conn->last_activity = sr.send_time;
+      pq.deadline = pq.first_send + config_.query_timeout;
+      TimeNs deadline = pq.deadline;
       if (!conn->connected) {
-        conn->backlog.push_back(rec.dns_payload);
+        conn->backlog.push_back(pq.payload);
+        if (conn->pending.insert(std::move(pq)))
+          ++report_.lifecycle.duplicate_ids;
+        note_in_flight(+1);
       } else {
-        auto sent = conn->stream.send_message(rec.dns_payload);
+        auto sent = conn->stream.send_message(pq.payload);
+        if (conn->pending.insert(std::move(pq)))
+          ++report_.lifecycle.duplicate_ids;
+        note_in_flight(+1);
         if (!sent.ok()) {
-          ++report_.send_errors;
-        } else if (*sent > 0) {
+          // Connection broke mid-send: the pending entry survives in the
+          // table, so the reconnect path resends it.
+          close_tcp(rec.src.addr, /*lost=*/true);
+          return;
+        }
+        if (*sent > 0) {
           // Kernel buffer full: wait for writability to flush the rest.
           (void)loop_.modify_fd(conn->stream.fd(), net::Interest{true, true});
         }
       }
+      schedule_lifecycle(deadline);
     }
-    ++report_.queries_sent;
-    last_send_ = mono_now_ns();
   }
 
-  net::UdpSocket* udp_socket_for(const IpAddr& source) {
-    auto it = udp_sockets_.find(source);
-    if (it != udp_sockets_.end()) return it->second.get();
+  UdpSock* udp_socket_for(const IpAddr& source) {
+    auto it = udp_socks_.find(source);
+    if (it != udp_socks_.end()) return it->second.get();
     auto sock = net::UdpSocket::bind(Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, 0});
     if (!sock.ok()) return nullptr;
-    auto owned = std::make_unique<net::UdpSocket>(std::move(*sock));
-    net::UdpSocket* raw = owned.get();
-    auto add = loop_.add_fd(raw->fd(), net::Interest{true, false},
+    auto owned = std::make_unique<UdpSock>();
+    owned->sock = std::make_unique<net::UdpSocket>(std::move(*sock));
+    UdpSock* raw = owned.get();
+    auto add = loop_.add_fd(raw->sock->fd(), net::Interest{true, false},
                             [this, raw](bool, bool) { on_udp_readable(raw); });
     if (!add.ok()) return nullptr;
-    udp_sockets_.emplace(source, std::move(owned));
+    udp_socks_.emplace(source, std::move(owned));
     return raw;
   }
 
@@ -186,11 +266,15 @@ class QueryEngine::Querier {
     return raw;
   }
 
-  void on_udp_readable(net::UdpSocket* sock) {
+  void on_udp_readable(UdpSock* us) {
     while (true) {
-      auto dg = sock->recv();
-      if (!dg.ok() || !dg->has_value()) return;
-      match_response((**dg).payload, udp_pending_[sock->fd()]);
+      auto dg = us->sock->recv();
+      if (!dg.ok()) {
+        ++report_.lifecycle.socket_errors;
+        return;
+      }
+      if (!dg->has_value()) return;
+      match_response((**dg).payload, us->pending);
     }
   }
 
@@ -200,13 +284,23 @@ class QueryEngine::Querier {
       conn->connected = true;
       for (auto& msg : conn->backlog) {
         auto sent = conn->stream.send_message(msg);
-        if (!sent.ok()) ++report_.send_errors;
+        if (!sent.ok()) {
+          close_tcp(source, /*lost=*/true);
+          return;
+        }
       }
       conn->backlog.clear();
-      (void)loop_.modify_fd(conn->stream.fd(), net::Interest{true, false});
+      // Keep write interest while the flush left bytes behind — dropping it
+      // here would strand a partial send forever.
+      (void)loop_.modify_fd(conn->stream.fd(),
+                            net::Interest{true, conn->stream.pending_bytes() > 0});
     } else if (writable) {
       auto pending = conn->stream.flush();
-      if (pending.ok() && *pending == 0)
+      if (!pending.ok()) {
+        close_tcp(source, /*lost=*/true);
+        return;
+      }
+      if (*pending == 0)
         (void)loop_.modify_fd(conn->stream.fd(), net::Interest{true, false});
     }
     if (readable) {
@@ -214,17 +308,57 @@ class QueryEngine::Querier {
       auto messages = conn->stream.read_messages(closed);
       if (messages.ok()) {
         for (const auto& msg : *messages) match_response(msg, conn->pending);
+      } else {
+        ++report_.lifecycle.socket_errors;
       }
       conn->last_activity = mono_now_ns();
-      if (closed || !messages.ok()) close_tcp(source);
+      if (closed || !messages.ok()) close_tcp(source, /*lost=*/true);
     }
   }
 
-  void close_tcp(const IpAddr& source) {
+  /// Tear down a TCP connection. `lost` marks an involuntary loss (peer
+  /// close or socket error): unanswered queries are then resent over a
+  /// fresh connection while the per-source reconnect budget lasts; beyond
+  /// it (or on voluntary idle close) they become Errored.
+  void close_tcp(const IpAddr& source, bool lost) {
     auto it = tcp_conns_.find(source);
     if (it == tcp_conns_.end()) return;
     loop_.remove_fd(it->second->stream.fd());
+    std::vector<PendingQuery> orphans = it->second->pending.drain();
+    uint32_t reconnects_used = it->second->reconnects_used;
     tcp_conns_.erase(it);
+    if (orphans.empty()) return;
+
+    TcpConn* fresh = nullptr;
+    if (lost && config_.tcp_reconnect &&
+        reconnects_used < config_.max_tcp_reconnects) {
+      fresh = tcp_conn_for(source);
+      if (fresh != nullptr) {
+        fresh->reconnects_used = reconnects_used + 1;
+        ++report_.lifecycle.tcp_reconnects;
+      }
+    }
+    TimeNs now = mono_now_ns();
+    for (auto& pq : orphans) {
+      SendRecord& sr = report_.sends[pq.send_index];
+      if (fresh != nullptr && pq.retries_used < config_.max_retries) {
+        ++pq.retries_used;
+        ++sr.retries;
+        ++report_.lifecycle.retries;
+        pq.deadline = now + retry_backoff(config_.query_timeout,
+                                          pq.retries_used,
+                                          config_.retry_backoff_cap);
+        TimeNs deadline = pq.deadline;
+        fresh->backlog.push_back(pq.payload);
+        fresh->pending.insert(std::move(pq));
+        schedule_lifecycle(deadline);
+      } else {
+        ++report_.lifecycle.expired;
+        sr.outcome = QueryOutcome::Errored;
+        note_in_flight(-1);
+      }
+    }
+    maybe_finish();
   }
 
   void arm_sweep() {
@@ -232,7 +366,8 @@ class QueryEngine::Querier {
       TimeNs cutoff = mono_now_ns() - config_.tcp_idle_timeout;
       for (auto it = tcp_conns_.begin(); it != tcp_conns_.end();) {
         auto next = std::next(it);
-        if (it->second->last_activity < cutoff) close_tcp(it->first);
+        if (it->second->last_activity < cutoff)
+          close_tcp(it->first, /*lost=*/false);
         it = next;
       }
       sweep_timer_ = 0;
@@ -241,25 +376,148 @@ class QueryEngine::Querier {
     });
   }
 
-  void match_response(const std::vector<uint8_t>& payload,
-                      std::unordered_map<uint16_t, size_t>& pending) {
+  // ---- lifecycle timer: timeouts, retransmits, bounded expiry ----
+
+  /// Arm (or pull earlier) the single timer that fires at the earliest
+  /// pending deadline across every table this querier owns.
+  void schedule_lifecycle(TimeNs deadline) {
+    if (lifecycle_timer_ != 0) {
+      if (deadline >= lifecycle_deadline_) return;
+      loop_.cancel_timer(lifecycle_timer_);
+    }
+    lifecycle_deadline_ = deadline;
+    lifecycle_timer_ =
+        loop_.add_timer_at(deadline, [this] { on_lifecycle_due(); });
+  }
+
+  void on_lifecycle_due() {
+    lifecycle_timer_ = 0;
+    TimeNs now = mono_now_ns();
+    for (auto& [source, us] : udp_socks_) {
+      for (auto& pq : us->pending.take_due(now))
+        handle_udp_due(*us, std::move(pq), now);
+    }
+    // Collect due TCP entries first: handling one may close/reopen
+    // connections, which mutates tcp_conns_ mid-iteration otherwise.
+    std::vector<std::pair<IpAddr, PendingQuery>> tcp_due;
+    for (auto& [source, conn] : tcp_conns_) {
+      for (auto& pq : conn->pending.take_due(now))
+        tcp_due.emplace_back(source, std::move(pq));
+    }
+    for (auto& [source, pq] : tcp_due) handle_tcp_due(source, std::move(pq), now);
+    rearm_lifecycle();
+    maybe_finish();
+  }
+
+  void rearm_lifecycle() {
+    std::optional<TimeNs> next;
+    auto consider = [&next](std::optional<TimeNs> d) {
+      if (d.has_value() && (!next.has_value() || *d < *next)) next = d;
+    };
+    for (auto& [source, us] : udp_socks_) consider(us->pending.next_deadline());
+    for (auto& [source, conn] : tcp_conns_) consider(conn->pending.next_deadline());
+    if (next.has_value()) schedule_lifecycle(*next);
+  }
+
+  void handle_udp_due(UdpSock& us, PendingQuery pq, TimeNs now) {
+    SendRecord& sr = report_.sends[pq.send_index];
+    if (pq.wire_sent) ++report_.lifecycle.timeouts;
+    if (pq.retries_used >= config_.max_retries) {
+      ++report_.lifecycle.expired;
+      sr.outcome = pq.wire_sent ? QueryOutcome::TimedOut : QueryOutcome::Errored;
+      note_in_flight(-1);
+      return;
+    }
+    ++pq.retries_used;
+    bool was_on_wire = pq.wire_sent;
+    auto sent = us.sock->send_to(config_.server, pq.payload);
+    if (!sent.ok()) {
+      ++report_.send_errors;
+      ++report_.lifecycle.expired;
+      sr.outcome = QueryOutcome::Errored;
+      note_in_flight(-1);
+      return;
+    }
+    if (was_on_wire) {
+      ++report_.lifecycle.retries;
+      ++sr.retries;
+    } else if (*sent) {
+      // First time this query actually reached the wire; latency still
+      // counts from the original send attempt.
+      ++report_.lifecycle.deferred_sends;
+    }
+    pq.wire_sent = was_on_wire || *sent;
+    pq.deadline = now + (pq.wire_sent
+                             ? retry_backoff(config_.query_timeout,
+                                             pq.retries_used,
+                                             config_.retry_backoff_cap)
+                             : kDeferredSendDelay);
+    us.pending.insert(std::move(pq));  // reinsert: not a fresh collision
+  }
+
+  void handle_tcp_due(const IpAddr& source, PendingQuery pq, TimeNs now) {
+    SendRecord& sr = report_.sends[pq.send_index];
+    ++report_.lifecycle.timeouts;
+    if (pq.retries_used >= config_.max_retries) {
+      ++report_.lifecycle.expired;
+      sr.outcome = QueryOutcome::TimedOut;
+      note_in_flight(-1);
+      return;
+    }
+    ++pq.retries_used;
+    TcpConn* conn = tcp_conn_for(source);  // reuse, or reopen if it vanished
+    if (conn == nullptr) {
+      ++report_.send_errors;
+      ++report_.lifecycle.expired;
+      sr.outcome = QueryOutcome::Errored;
+      note_in_flight(-1);
+      return;
+    }
+    ++report_.lifecycle.retries;
+    ++sr.retries;
+    pq.deadline = now + retry_backoff(config_.query_timeout, pq.retries_used,
+                                      config_.retry_backoff_cap);
+    if (!conn->connected) {
+      conn->backlog.push_back(pq.payload);
+      conn->pending.insert(std::move(pq));
+      return;
+    }
+    auto sent = conn->stream.send_message(pq.payload);
+    if (!sent.ok()) {
+      conn->pending.insert(std::move(pq));
+      close_tcp(source, /*lost=*/true);  // resends via the reconnect path
+      return;
+    }
+    if (*sent > 0)
+      (void)loop_.modify_fd(conn->stream.fd(), net::Interest{true, true});
+    conn->pending.insert(std::move(pq));
+  }
+
+  void match_response(const std::vector<uint8_t>& payload, PendingTable& pending) {
     if (payload.size() < 2) return;
     uint16_t id = static_cast<uint16_t>(payload[0] << 8 | payload[1]);
-    auto it = pending.find(id);
-    if (it == pending.end()) return;
-    SendRecord& sr = report_.sends[it->second];
-    if (sr.latency < 0) {
-      sr.latency = mono_now_ns() - sr.send_time;
-      ++report_.responses_received;
+    auto pq = pending.match(id);
+    if (!pq.has_value()) {
+      // Late (already expired) or unsolicited — the id names no live query.
+      ++report_.lifecycle.unmatched_responses;
+      return;
     }
-    pending.erase(it);
+    SendRecord& sr = report_.sends[pq->send_index];
+    sr.latency = mono_now_ns() - sr.send_time;
+    sr.outcome = QueryOutcome::Answered;
+    ++report_.responses_received;
+    report_.latency_hist.add(sr.latency);
+    if (sr.retries > 0) ++report_.lifecycle.answered_after_retry;
+    note_in_flight(-1);
     maybe_finish();
   }
 
   void maybe_finish() {
     if (!input_done_ || pending_timers_ > 0 || stopping_) return;
-    bool all_answered = report_.responses_received >= report_.queries_sent;
-    if (all_answered) {
+    // Every query reaches a terminal outcome (answer, expiry, error), so
+    // in-flight hitting zero is the natural end; drain_grace only caps the
+    // wait when the retry/expiry schedule outlives the caller's patience.
+    if (in_flight_ == 0) {
       stopping_ = true;
       loop_.stop();
       return;
@@ -273,6 +531,18 @@ class QueryEngine::Querier {
   }
 
   void finalize_report() {
+    // Queries still pending at shutdown (drain_grace fired before their
+    // expiry) are abandoned: counted, never silently lost.
+    auto abandon = [this](PendingQuery&& pq) {
+      SendRecord& sr = report_.sends[pq.send_index];
+      if (sr.outcome != QueryOutcome::Pending) return;
+      sr.outcome = pq.wire_sent ? QueryOutcome::TimedOut : QueryOutcome::Errored;
+      ++report_.lifecycle.expired;
+    };
+    for (auto& [source, us] : udp_socks_)
+      for (auto& pq : us->pending.drain()) abandon(std::move(pq));
+    for (auto& [source, conn] : tcp_conns_)
+      for (auto& pq : conn->pending.drain()) abandon(std::move(pq));
     for (const auto& sr : report_.sends) {
       report_.replay_end = std::max(report_.replay_end, sr.send_time);
     }
@@ -286,21 +556,26 @@ class QueryEngine::Querier {
   net::EventLoop loop_;
   std::thread thread_;
 
-  std::unordered_map<IpAddr, std::unique_ptr<net::UdpSocket>, IpAddrHash> udp_sockets_;
-  std::unordered_map<int, std::unordered_map<uint16_t, size_t>> udp_pending_;
+  std::unordered_map<IpAddr, std::unique_ptr<UdpSock>, IpAddrHash> udp_socks_;
   std::unordered_map<IpAddr, std::unique_ptr<TcpConn>, IpAddrHash> tcp_conns_;
 
   EngineReport report_;
+  uint64_t next_key_ = 1;
+  int64_t in_flight_ = 0;
   size_t pending_timers_ = 0;
   bool input_done_ = false;
   bool stopping_ = false;
   net::EventLoop::TimerId drain_timer_ = 0;
   net::EventLoop::TimerId sweep_timer_ = 0;
+  net::EventLoop::TimerId lifecycle_timer_ = 0;
+  TimeNs lifecycle_deadline_ = 0;
   TimeNs last_send_ = 0;
 };
 
 // ---------------------------------------------------------------------------
-// Distributor: fans records out to its queriers, same-source sticky.
+// Distributor: fans records out to its queriers, same-source sticky, and
+// folds their reports (counters, histograms, send records) into one on
+// collect so the controller merges per-distributor, not per-querier.
 // ---------------------------------------------------------------------------
 class QueryEngine::Distributor {
  public:
@@ -321,11 +596,11 @@ class QueryEngine::Distributor {
   void submit(TraceRecord rec) { queue_.push(std::move(rec)); }
   void finish() { queue_.close(); }
 
-  std::vector<EngineReport> collect() {
+  EngineReport collect() {
     if (thread_.joinable()) thread_.join();
-    std::vector<EngineReport> reports;
-    for (auto& q : queriers_) reports.push_back(q->take_report());
-    return reports;
+    EngineReport merged;
+    for (auto& q : queriers_) merged.merge_from(q->take_report());
+    return merged;
   }
 
  private:
@@ -411,23 +686,7 @@ Result<EngineReport> QueryEngine::replay(const std::vector<TraceRecord>& trace,
   EngineReport merged;
   merged.mutator_dropped = mutator_dropped;
   merged.replay_start = clock.real_origin();
-  for (auto& d : distributors) {
-    for (auto& rep : d->collect()) {
-      merged.queries_sent += rep.queries_sent;
-      merged.responses_received += rep.responses_received;
-      merged.send_errors += rep.send_errors;
-      merged.connections_opened += rep.connections_opened;
-      merged.replay_end = std::max(merged.replay_end, rep.replay_end);
-      // Fast mode sends before the startup-lead origin; lower the start to
-      // the first real send so duration/rate stay meaningful (timed sends
-      // are never earlier than the origin, so this is a no-op there).
-      for (const auto& sr : rep.sends)
-        merged.replay_start = std::min(merged.replay_start, sr.send_time);
-      merged.sends.insert(merged.sends.end(),
-                          std::make_move_iterator(rep.sends.begin()),
-                          std::make_move_iterator(rep.sends.end()));
-    }
-  }
+  for (auto& d : distributors) merged.merge_from(d->collect());
   source_to_distributor_.clear();
   next_distributor_ = 0;
   return merged;

@@ -15,8 +15,10 @@
 #include "mutate/mutator.hpp"
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
+#include "replay/pending.hpp"
 #include "replay/schedule.hpp"
 #include "trace/record.hpp"
+#include "util/metrics.hpp"
 #include "util/queue.hpp"
 #include "util/stats.hpp"
 
@@ -34,6 +36,20 @@ struct EngineConfig {
   TimeNs tcp_idle_timeout = 20 * kSecond;
   /// Stop waiting for outstanding responses this long after the last send.
   TimeNs drain_grace = 2 * kSecond;
+  /// Query lifecycle (PendingTable): a query unanswered after this long is
+  /// retransmitted (UDP) or resent (TCP), with the wait doubling per
+  /// attempt up to retry_backoff_cap; once max_retries attempts are spent
+  /// the entry expires and leaves the pending table, so long replays never
+  /// accumulate unanswered state. max_retries = 0 keeps the timeout/expiry
+  /// accounting but never retransmits.
+  TimeNs query_timeout = kSecond;
+  uint32_t max_retries = 2;
+  TimeNs retry_backoff_cap = 8 * kSecond;
+  /// Re-establish a TCP connection that dropped with unanswered queries
+  /// still pending, resending them (each resend consumes one retry from the
+  /// affected queries), at most this many times per source.
+  bool tcp_reconnect = true;
+  uint32_t max_tcp_reconnects = 2;
   size_t queue_capacity = 4096;
   /// Live query mutation (§2.2: "query mutator can run live with query
   /// replay"): applied by the controller to each record before dispatch.
@@ -46,8 +62,10 @@ struct EngineConfig {
 struct SendRecord {
   TimeNs trace_time;   ///< original timestamp (ns, trace timeline)
   TimeNs send_time;    ///< actual send (ns, monotonic timeline)
-  TimeNs latency = -1; ///< response latency; -1 if unanswered
+  TimeNs latency = -1; ///< response latency from first send; -1 if unanswered
   uint32_t querier = 0;
+  uint32_t retries = 0;  ///< retransmits this query needed
+  QueryOutcome outcome = QueryOutcome::Pending;
 };
 
 struct EngineReport {
@@ -57,6 +75,11 @@ struct EngineReport {
   uint64_t send_errors = 0;
   uint64_t connections_opened = 0;
   uint64_t mutator_dropped = 0;  ///< records removed by the live mutator
+  /// Peak number of simultaneously in-flight queries in any one querier;
+  /// bounded by the expiry window, so long replays with loss stay flat.
+  uint64_t max_in_flight = 0;
+  metrics::LifecycleCounters lifecycle;  ///< timeout/retry/expiry accounting
+  metrics::Histogram latency_hist;       ///< answered-query latency (ns)
   TimeNs replay_start = 0;  ///< monotonic t₁
   TimeNs replay_end = 0;
 
@@ -65,6 +88,13 @@ struct EngineReport {
     double d = duration_s();
     return d > 0 ? static_cast<double>(queries_sent) / d : 0;
   }
+  /// Queries that never produced an answer (timed out, errored, abandoned).
+  uint64_t lost() const { return lifecycle.expired; }
+
+  /// Fold another report (one querier's, one distributor's, one
+  /// controller's) into this one: counters sum, histograms merge, send
+  /// records append, and replay_start/replay_end widen to cover both.
+  void merge_from(EngineReport&& other);
 };
 
 class QueryEngine {

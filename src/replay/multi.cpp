@@ -46,18 +46,7 @@ Result<EngineReport> replay_multi_controller(const std::vector<TraceRecord>& tra
   for (auto& slot : slots) {
     if (!slot.result.has_value()) return Err("controller produced no report");
     if (!slot.result->ok()) return Err(slot.result->error().message);
-    EngineReport& rep = slot.result->value();
-    merged.queries_sent += rep.queries_sent;
-    merged.responses_received += rep.responses_received;
-    merged.send_errors += rep.send_errors;
-    merged.connections_opened += rep.connections_opened;
-    merged.mutator_dropped += rep.mutator_dropped;
-    merged.replay_end = std::max(merged.replay_end, rep.replay_end);
-    for (const auto& sr : rep.sends)
-      merged.replay_start = std::min(merged.replay_start, sr.send_time);
-    merged.sends.insert(merged.sends.end(),
-                        std::make_move_iterator(rep.sends.begin()),
-                        std::make_move_iterator(rep.sends.end()));
+    merged.merge_from(std::move(slot.result->value()));
   }
   return merged;
 }

@@ -1,0 +1,81 @@
+#include "replay/pending.hpp"
+
+#include <algorithm>
+
+namespace ldp::replay {
+
+bool PendingTable::insert(PendingQuery q) {
+  auto& fifo = by_id_[q.dns_id];
+  bool collision = !fifo.empty();
+  fifo.push_back(q.key);
+  heap_.push(HeapItem{q.deadline, q.key});
+  entries_.emplace(q.key, std::move(q));
+  return collision;
+}
+
+std::optional<PendingQuery> PendingTable::match(uint16_t dns_id) {
+  auto fit = by_id_.find(dns_id);
+  if (fit == by_id_.end()) return std::nullopt;
+  uint64_t key = fit->second.front();
+  fit->second.pop_front();
+  if (fit->second.empty()) by_id_.erase(fit);
+  auto eit = entries_.find(key);
+  PendingQuery q = std::move(eit->second);
+  entries_.erase(eit);
+  // The heap item for `key` goes stale and is pruned lazily.
+  return q;
+}
+
+std::vector<PendingQuery> PendingTable::take_due(TimeNs now) {
+  std::vector<PendingQuery> due;
+  while (true) {
+    prune_heap();
+    if (heap_.empty() || heap_.top().deadline > now) break;
+    uint64_t key = heap_.top().key;
+    heap_.pop();
+    auto eit = entries_.find(key);
+    erase_from_id_fifo(eit->second.dns_id, key);
+    due.push_back(std::move(eit->second));
+    entries_.erase(eit);
+  }
+  return due;
+}
+
+std::optional<TimeNs> PendingTable::next_deadline() {
+  prune_heap();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().deadline;
+}
+
+std::vector<PendingQuery> PendingTable::drain() {
+  std::vector<PendingQuery> all;
+  all.reserve(entries_.size());
+  for (auto& [key, q] : entries_) all.push_back(std::move(q));
+  entries_.clear();
+  by_id_.clear();
+  heap_ = {};
+  // Callers resend in original send order (backlog replay on reconnect).
+  std::sort(all.begin(), all.end(),
+            [](const PendingQuery& a, const PendingQuery& b) { return a.key < b.key; });
+  return all;
+}
+
+void PendingTable::prune_heap() {
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.top();
+    auto eit = entries_.find(top.key);
+    if (eit != entries_.end() && eit->second.deadline == top.deadline) return;
+    heap_.pop();
+  }
+}
+
+void PendingTable::erase_from_id_fifo(uint16_t dns_id, uint64_t key) {
+  auto fit = by_id_.find(dns_id);
+  if (fit == by_id_.end()) return;
+  auto& fifo = fit->second;
+  auto pos = std::find(fifo.begin(), fifo.end(), key);
+  if (pos != fifo.end()) fifo.erase(pos);
+  if (fifo.empty()) by_id_.erase(fit);
+}
+
+}  // namespace ldp::replay

@@ -9,9 +9,21 @@
 // If the input falls behind (ΔTᵢ ≤ 0) the query is sent immediately.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+
 #include "util/clock.hpp"
 
 namespace ldp::replay {
+
+/// Capped exponential backoff for retransmits: base · 2^(attempt−1), never
+/// exceeding `cap`. attempt is 1-based (the first retry waits `base`).
+inline TimeNs retry_backoff(TimeNs base, uint32_t attempt, TimeNs cap) {
+  if (base <= 0) return cap;
+  TimeNs delay = base;
+  for (uint32_t i = 1; i < attempt && delay < cap; ++i) delay *= 2;
+  return std::min(delay, cap);
+}
 
 class ReplayClock {
  public:

@@ -1,0 +1,80 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace ldp::metrics {
+
+size_t Histogram::bucket_of(int64_t v) {
+  if (v <= 0) return 0;
+  return static_cast<size_t>(std::bit_width(static_cast<uint64_t>(v)));
+}
+
+void Histogram::add(int64_t v) {
+  if (v < 0) v = 0;
+  ++buckets_[bucket_of(v)];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += static_cast<double>(v);
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (o.count_ == 0) return;
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+  if (count_ == 0) {
+    min_ = o.min_;
+    max_ = o.max_;
+  } else {
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+}
+
+double Histogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [1, count]; walk buckets until the cumulative count covers it,
+  // then interpolate linearly inside the bucket's value range.
+  double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  uint64_t cum = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (static_cast<double>(cum + buckets_[b]) >= rank) {
+      double frac = (rank - static_cast<double>(cum)) /
+                    static_cast<double>(buckets_[b]);
+      double lo = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (b - 1));
+      double hi = b >= 63 ? static_cast<double>(max_)
+                          : static_cast<double>(uint64_t{1} << b);
+      lo = std::max(lo, static_cast<double>(min_));
+      hi = std::min(hi, static_cast<double>(max_));
+      if (hi < lo) hi = lo;
+      return lo + frac * (hi - lo);
+    }
+    cum += buckets_[b];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::summary_ms() const {
+  if (count_ == 0) return "no samples";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "p50 %.2fms  p90 %.2fms  p99 %.2fms (n=%llu)",
+                quantile(0.50) / 1e6, quantile(0.90) / 1e6,
+                quantile(0.99) / 1e6, static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+}  // namespace ldp::metrics

@@ -15,15 +15,22 @@
 namespace ldp {
 
 /// Error payload carried by a failed Result. A short machine-friendly code
-/// plus a human-readable message describing what went wrong.
+/// plus a human-readable message describing what went wrong. OS-level
+/// failures additionally carry the errno observed at the failure site, so
+/// callers can distinguish transient conditions from hard connection loss
+/// without parsing the message.
 struct Error {
   std::string message;
+  int sys_errno = 0;  ///< errno when the error came from a syscall, else 0
 
-  explicit Error(std::string msg) : message(std::move(msg)) {}
+  explicit Error(std::string msg, int err = 0)
+      : message(std::move(msg)), sys_errno(err) {}
 };
 
 /// Construct a failed-Result payload in one call: `return Err("truncated")`.
-inline Error Err(std::string msg) { return Error{std::move(msg)}; }
+inline Error Err(std::string msg, int sys_errno = 0) {
+  return Error{std::move(msg), sys_errno};
+}
 
 /// Result<T> holds either a value of T or an Error. Modeled on
 /// std::expected (C++23) but self-contained for C++20.

@@ -144,7 +144,10 @@ www IN A 192.0.2.11
   for (int i = 0; i < 4; ++i) {
     Message q = Message::make_query(static_cast<uint16_t>(i), mk("www.cdn.example"),
                                     RRType::A);
-    const auto* a = s.answer(q, client).answers[0].rdata.get_if<dns::AData>();
+    Message r = s.answer(q, client);
+    ASSERT_FALSE(r.answers.empty());
+    const auto* a = r.answers[0].rdata.get_if<dns::AData>();
+    ASSERT_NE(a, nullptr);
     first_answers.insert(a->addr.to_string());
   }
   EXPECT_EQ(first_answers.size(), 1u);  // stable order

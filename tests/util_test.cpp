@@ -2,9 +2,17 @@
 // base64, rng distributions.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
 #include "util/base64.hpp"
 #include "util/bytes.hpp"
+#include "util/clock.hpp"
 #include "util/ip.hpp"
+#include "util/metrics.hpp"
+#include "util/queue.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -283,6 +291,122 @@ TEST(Zipf, CoversAllRanks) {
   for (int h : hits) EXPECT_GT(h, 0);
   // Monotone non-increasing popularity by rank (statistically).
   EXPECT_GT(hits[0], hits[9]);
+}
+
+TEST(BoundedQueue, PushPopFifo) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_EQ(*q.pop(), 2);
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q(4);
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));  // rejected after close
+  EXPECT_EQ(*q.pop(), 7);   // buffered items still drain
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.closed_and_empty());
+}
+
+// Race regression: close() while producers are blocked in push() on a full
+// queue must wake every one of them with push() == false, never deadlock,
+// and every pop must observe either a real item or the shutdown nullopt.
+TEST(BoundedQueue, CloseWhilePushersBlockedOnFullQueue) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));  // queue now full
+
+  constexpr int kProducers = 4;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int i = 0; i < kProducers; ++i) {
+    producers.emplace_back([&q, &rejected, i] {
+      if (!q.push(100 + i)) rejected.fetch_add(1);
+    });
+  }
+  // Let the producers reach the full-queue wait, then close underneath them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : producers) t.join();
+
+  // All blocked pushers must have been rejected (capacity never freed up).
+  EXPECT_EQ(rejected.load(), kProducers);
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+// Consumers blocked in pop() on an empty queue must all wake on close().
+TEST(BoundedQueue, CloseWakesBlockedPoppers) {
+  BoundedQueue<int> q(4);
+  constexpr int kConsumers = 4;
+  std::atomic<int> got_nullopt{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int i = 0; i < kConsumers; ++i) {
+    consumers.emplace_back([&q, &got_nullopt] {
+      if (!q.pop().has_value()) got_nullopt.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(got_nullopt.load(), kConsumers);
+}
+
+TEST(Histogram, QuantilesAndMerge) {
+  metrics::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<TimeNs>(i) * kMilli);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), kMilli);
+  EXPECT_EQ(h.max(), 100 * kMilli);
+  // Log-bucketed: quantiles are approximate but must land within the
+  // enclosing power-of-two bucket of the exact value.
+  double p50 = static_cast<double>(h.quantile(0.5));
+  EXPECT_GT(p50, 25.0 * kMilli);
+  EXPECT_LT(p50, 101.0 * kMilli);
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(1.0), h.max());
+
+  metrics::Histogram other;
+  other.add(kSecond);
+  h.merge(other);
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_EQ(h.max(), kSecond);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  metrics::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_FALSE(h.summary_ms().empty());
+}
+
+TEST(LifecycleCounters, MergeSums) {
+  metrics::LifecycleCounters a, b;
+  a.timeouts = 3;
+  a.retries = 2;
+  b.timeouts = 1;
+  b.expired = 5;
+  b.duplicate_ids = 4;
+  a.merge(b);
+  EXPECT_EQ(a.timeouts, 4u);
+  EXPECT_EQ(a.retries, 2u);
+  EXPECT_EQ(a.expired, 5u);
+  EXPECT_EQ(a.duplicate_ids, 4u);
+}
+
+TEST(Result, CarriesSysErrno) {
+  Result<int> bad = Err("recvfrom: would block", EAGAIN);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().sys_errno, EAGAIN);
+  Result<int> plain = Err("no errno");
+  EXPECT_EQ(plain.error().sys_errno, 0);
 }
 
 }  // namespace

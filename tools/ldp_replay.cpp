@@ -142,8 +142,31 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report->send_errors));
   std::printf("connections opened: %llu\n",
               static_cast<unsigned long long>(report->connections_opened));
+  const auto& lc = report->lifecycle;
+  std::printf("timeouts:           %llu (retries %llu, answered after retry %llu)\n",
+              static_cast<unsigned long long>(lc.timeouts),
+              static_cast<unsigned long long>(lc.retries),
+              static_cast<unsigned long long>(lc.answered_after_retry));
+  std::printf("lost (expired):     %llu\n",
+              static_cast<unsigned long long>(lc.expired));
+  if (lc.duplicate_ids + lc.tcp_reconnects + lc.unmatched_responses +
+          lc.deferred_sends + lc.socket_errors >
+      0) {
+    std::printf(
+        "anomalies:          dup-ids %llu  tcp-reconnects %llu  unmatched %llu"
+        "  deferred-sends %llu  socket-errors %llu\n",
+        static_cast<unsigned long long>(lc.duplicate_ids),
+        static_cast<unsigned long long>(lc.tcp_reconnects),
+        static_cast<unsigned long long>(lc.unmatched_responses),
+        static_cast<unsigned long long>(lc.deferred_sends),
+        static_cast<unsigned long long>(lc.socket_errors));
+  }
+  std::printf("max in flight:      %llu\n",
+              static_cast<unsigned long long>(report->max_in_flight));
   std::printf("duration:           %.3f s (%.0f q/s)\n", report->duration_s(),
               report->rate_qps());
+  if (!report->latency_hist.empty())
+    std::printf("latency histogram:  %s\n", report->latency_hist.summary_ms().c_str());
 
   Sampler latency_ms, error_ms;
   TimeNs t0 = records->front().timestamp;
