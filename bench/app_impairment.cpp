@@ -1,0 +1,88 @@
+// Application study: replay fidelity under network impairment. §5 frames
+// LDplayer as the tool for "what-if" experiments; this binary asks the
+// what-if the fault layer exists for: how does the replayed workload — and
+// the conclusions drawn from it — degrade as the emulated network gets
+// worse? Sweeps loss/duplication/corruption scenarios over a B-Root-like
+// trace in the simnet runtime (virtual time, so every row is bit-exact
+// reproducible) and prints the fault layer's own accounting next to the
+// server-visible effects.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "fault/fault.hpp"
+#include "simnet/replay_sim.hpp"
+
+using namespace ldp;
+
+int main() {
+  bench::print_header("Impairment application study",
+                      "replay through deterministic fault scenarios");
+
+  const TimeNs kDuration = 60 * kSecond;
+  auto trace = bench::broot16_trace(2000, kDuration, 20000, 99);
+  auto server = bench::root_wildcard_server();
+
+  simnet::SimReplayConfig cfg;
+  cfg.rtt = kMilli;
+  cfg.sample_interval = 10 * kSecond;
+
+  struct Scenario {
+    const char* label;
+    const char* spec;
+  };
+  const Scenario kScenarios[] = {
+      {"clean", ""},
+      {"loss 1%", "loss:0.01,seed:42"},
+      {"loss 5%", "loss:0.05,seed:42"},
+      {"loss 20%", "loss:0.20,seed:42"},
+      {"dup 5%", "dup:0.05,seed:42"},
+      {"corrupt 5%", "corrupt:0.05,seed:42"},
+      {"outage 10s", "blackhole:20s-30s,seed:42"},
+      {"flaky link", "loss:0.02,flap:5s/500ms,seed:42"},
+      {"kitchen sink", "loss:0.05,dup:0.01,corrupt:0.01,delay:5ms,jitter:2ms,seed:42"},
+  };
+
+  std::printf("  %-14s %10s %10s %10s %10s  %s\n", "scenario", "queries",
+              "answered", "lost", "resp%", "fault-layer accounting");
+  for (const auto& sc : kScenarios) {
+    fault::FaultSpec spec;
+    if (sc.spec[0] != '\0') {
+      auto parsed = fault::parse_fault_spec(sc.spec);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad spec %s: %s\n", sc.spec,
+                     parsed.error().message.c_str());
+        return 1;
+      }
+      spec = *parsed;
+    }
+    cfg.fault = sc.spec[0] != '\0' ? &spec : nullptr;
+    auto result = simnet::simulate_replay(trace, server, cfg);
+    std::printf("  %-14s %10llu %10llu %10llu %9.1f%%  %s\n", sc.label,
+                static_cast<unsigned long long>(result.queries),
+                static_cast<unsigned long long>(result.responses),
+                static_cast<unsigned long long>(result.queries_lost),
+                result.queries > 0
+                    ? 100.0 * static_cast<double>(result.responses) /
+                          static_cast<double>(result.queries)
+                    : 0.0,
+                result.impairments.summary().c_str());
+
+    // Reproducibility check: the same seed must give byte-identical
+    // impairment accounting on a second run (the fault layer's contract).
+    if (cfg.fault != nullptr) {
+      auto again = simnet::simulate_replay(trace, server, cfg);
+      if (!(again.impairments == result.impairments) ||
+          again.queries_lost != result.queries_lost) {
+        std::fprintf(stderr, "DETERMINISM VIOLATION in scenario %s\n", sc.label);
+        return 1;
+      }
+    }
+  }
+
+  std::printf(
+      "\n  reading: response rate tracks (1 - drop) until the blackhole row,\n"
+      "  where a contiguous outage removes a time slice instead of a random\n"
+      "  sample; corrupt rows lose only queries mangled beyond parsing. Every\n"
+      "  row is seed-deterministic (each scenario is run twice and compared).\n");
+  return 0;
+}

@@ -1,0 +1,279 @@
+#include "fault/fault.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ldp::fault {
+
+void ImpairmentCounters::merge(const ImpairmentCounters& o) {
+  processed += o.processed;
+  dropped += o.dropped;
+  blackholed += o.blackholed;
+  flap_dropped += o.flap_dropped;
+  duplicated += o.duplicated;
+  corrupted += o.corrupted;
+  reordered += o.reordered;
+  delayed += o.delayed;
+}
+
+std::string ImpairmentCounters::summary() const {
+  std::ostringstream out;
+  out << "processed " << processed << "  drop " << dropped << "  blackhole "
+      << blackholed << "  flap " << flap_dropped << "  dup " << duplicated
+      << "  corrupt " << corrupted << "  reorder " << reordered << "  delay "
+      << delayed;
+  return out.str();
+}
+
+bool FaultSpec::enabled() const {
+  return drop > 0 || dup > 0 || reorder > 0 || corrupt > 0 || delay > 0 ||
+         jitter > 0 || blackhole_end > blackhole_start ||
+         (flap_period > 0 && flap_down > 0);
+}
+
+namespace {
+
+// Durations print in the largest unit that divides them exactly, so
+// to_string output parses back to the identical spec.
+std::string duration_to_string(TimeNs ns) {
+  if (ns % kSecond == 0) return std::to_string(ns / kSecond) + "s";
+  if (ns % kMilli == 0) return std::to_string(ns / kMilli) + "ms";
+  if (ns % kMicro == 0) return std::to_string(ns / kMicro) + "us";
+  return std::to_string(ns) + "ns";
+}
+
+Result<TimeNs> parse_duration(std::string_view text) {
+  size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.'))
+    ++i;
+  if (i == 0) return Err("bad duration '" + std::string(text) + "'");
+  double value = 0;
+  try {
+    value = std::stod(std::string(text.substr(0, i)));
+  } catch (...) {
+    return Err("bad duration '" + std::string(text) + "'");
+  }
+  std::string_view unit = text.substr(i);
+  double scale;
+  if (unit.empty() || unit == "ms") {
+    scale = static_cast<double>(kMilli);
+  } else if (unit == "s") {
+    scale = static_cast<double>(kSecond);
+  } else if (unit == "us") {
+    scale = static_cast<double>(kMicro);
+  } else if (unit == "ns") {
+    scale = 1;
+  } else {
+    return Err("bad duration unit '" + std::string(unit) + "'");
+  }
+  return static_cast<TimeNs>(value * scale);
+}
+
+Result<double> parse_probability(std::string_view key, std::string_view text) {
+  double p = 0;
+  try {
+    p = std::stod(std::string(text));
+  } catch (...) {
+    return Err("bad value for " + std::string(key) + ": '" + std::string(text) + "'");
+  }
+  if (p < 0 || p > 1 || !std::isfinite(p))
+    return Err(std::string(key) + " must be a probability in [0,1], got '" +
+               std::string(text) + "'");
+  return p;
+}
+
+std::string prob_to_string(double p) {
+  std::ostringstream out;
+  out << p;  // default precision round-trips the specs users actually write
+  return out.str();
+}
+
+}  // namespace
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream out;
+  auto sep = [&out, first = true]() mutable {
+    if (!first) out << ",";
+    first = false;
+  };
+  if (drop > 0) {
+    sep();
+    out << "loss:" << prob_to_string(drop);
+  }
+  if (dup > 0) {
+    sep();
+    out << "dup:" << prob_to_string(dup);
+  }
+  if (reorder > 0) {
+    sep();
+    out << "reorder:" << prob_to_string(reorder) << ",gap:"
+        << duration_to_string(reorder_gap);
+  }
+  if (corrupt > 0) {
+    sep();
+    out << "corrupt:" << prob_to_string(corrupt);
+  }
+  if (delay > 0) {
+    sep();
+    out << "delay:" << duration_to_string(delay);
+  }
+  if (jitter > 0) {
+    sep();
+    out << "jitter:" << duration_to_string(jitter);
+  }
+  if (blackhole_end > blackhole_start) {
+    sep();
+    out << "blackhole:" << duration_to_string(blackhole_start) << "-"
+        << duration_to_string(blackhole_end);
+  }
+  if (flap_period > 0 && flap_down > 0) {
+    sep();
+    out << "flap:" << duration_to_string(flap_period) << "/"
+        << duration_to_string(flap_down);
+  }
+  sep();
+  out << "seed:" << seed;
+  return out.str();
+}
+
+Result<FaultSpec> parse_fault_spec(std::string_view text) {
+  FaultSpec spec;
+  for (std::string_view item : split(text, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    size_t colon = item.find(':');
+    if (colon == std::string_view::npos)
+      return Err("fault spec item '" + std::string(item) + "' needs key:value");
+    std::string_view key = item.substr(0, colon);
+    std::string_view value = item.substr(colon + 1);
+    if (key == "loss" || key == "drop") {
+      spec.drop = LDP_TRY(parse_probability(key, value));
+    } else if (key == "dup") {
+      spec.dup = LDP_TRY(parse_probability(key, value));
+    } else if (key == "reorder") {
+      spec.reorder = LDP_TRY(parse_probability(key, value));
+    } else if (key == "corrupt") {
+      spec.corrupt = LDP_TRY(parse_probability(key, value));
+    } else if (key == "gap") {
+      spec.reorder_gap = LDP_TRY(parse_duration(value));
+    } else if (key == "delay") {
+      spec.delay = LDP_TRY(parse_duration(value));
+    } else if (key == "jitter") {
+      spec.jitter = LDP_TRY(parse_duration(value));
+    } else if (key == "blackhole") {
+      size_t dash = value.find('-');
+      if (dash == std::string_view::npos)
+        return Err("blackhole wants start-end, got '" + std::string(value) + "'");
+      spec.blackhole_start = LDP_TRY(parse_duration(value.substr(0, dash)));
+      spec.blackhole_end = LDP_TRY(parse_duration(value.substr(dash + 1)));
+      if (spec.blackhole_end <= spec.blackhole_start)
+        return Err("blackhole window is empty: '" + std::string(value) + "'");
+    } else if (key == "flap") {
+      size_t slash = value.find('/');
+      if (slash == std::string_view::npos)
+        return Err("flap wants period/down, got '" + std::string(value) + "'");
+      spec.flap_period = LDP_TRY(parse_duration(value.substr(0, slash)));
+      spec.flap_down = LDP_TRY(parse_duration(value.substr(slash + 1)));
+      if (spec.flap_period <= 0 || spec.flap_down <= 0 ||
+          spec.flap_down >= spec.flap_period)
+        return Err("flap needs 0 < down < period, got '" + std::string(value) + "'");
+    } else if (key == "seed") {
+      uint64_t s = 0;
+      auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), s);
+      if (ec != std::errc{} || p != value.data() + value.size())
+        return Err("bad seed '" + std::string(value) + "'");
+      spec.seed = s;
+    } else {
+      return Err("unknown fault spec key '" + std::string(key) + "'");
+    }
+  }
+  return spec;
+}
+
+uint64_t stream_seed(uint64_t base_seed, std::string_view name) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (char c : name) h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+  // splitmix-style final mix so nearby names land far apart.
+  uint64_t z = base_seed ^ h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+FaultStream::FaultStream(const FaultSpec& spec, std::string_view name)
+    : spec_(spec),
+      name_(name),
+      decide_(stream_seed(spec.seed, name)),
+      corrupt_(stream_seed(spec.seed + 0x9e3779b97f4a7c15ull, name)) {}
+
+Verdict FaultStream::next(TimeNs now) {
+  if (origin_ < 0) origin_ = now;
+  ++counters_.processed;
+
+  // Fixed draw schedule (determinism contract): five uniforms per packet,
+  // consumed whether or not their impairment is configured or wins.
+  double d_drop = decide_.uniform01();
+  double d_dup = decide_.uniform01();
+  double d_corrupt = decide_.uniform01();
+  double d_reorder = decide_.uniform01();
+  double d_jitter = decide_.uniform01();
+
+  Verdict v;
+  TimeNs offset = now - origin_;
+  if (spec_.blackhole_end > spec_.blackhole_start &&
+      offset >= spec_.blackhole_start && offset < spec_.blackhole_end) {
+    ++counters_.blackholed;
+    v.action = Action::Drop;
+    v.reason = DropReason::Blackhole;
+    return v;
+  }
+  if (spec_.flap_period > 0 && spec_.flap_down > 0 &&
+      offset % spec_.flap_period < spec_.flap_down) {
+    ++counters_.flap_dropped;
+    v.action = Action::Drop;
+    v.reason = DropReason::Flap;
+    return v;
+  }
+  if (d_drop < spec_.drop) {
+    ++counters_.dropped;
+    v.action = Action::Drop;
+    v.reason = DropReason::Loss;
+    return v;
+  }
+  if (d_dup < spec_.dup) {
+    ++counters_.duplicated;
+    v.action = Action::Duplicate;
+  } else if (d_corrupt < spec_.corrupt) {
+    ++counters_.corrupted;
+    v.action = Action::Corrupt;
+  }
+  if (d_reorder < spec_.reorder) {
+    ++counters_.reordered;
+    v.extra_delay += spec_.reorder_gap;
+  }
+  if (spec_.delay > 0 || spec_.jitter > 0) {
+    v.extra_delay += spec_.delay +
+                     static_cast<TimeNs>(d_jitter * static_cast<double>(spec_.jitter));
+    ++counters_.delayed;
+  }
+  return v;
+}
+
+void FaultStream::corrupt(std::vector<uint8_t>& payload) {
+  if (payload.empty()) return;
+  size_t flips = 1 + corrupt_.uniform(0, spec_.corrupt_max_bytes > 0
+                                             ? spec_.corrupt_max_bytes - 1
+                                             : 0);
+  for (size_t i = 0; i < flips; ++i) {
+    size_t pos = corrupt_.uniform(0, payload.size() - 1);
+    // XOR with a non-zero byte so the packet always actually changes.
+    payload[pos] ^= static_cast<uint8_t>(corrupt_.uniform(1, 255));
+  }
+}
+
+}  // namespace ldp::fault

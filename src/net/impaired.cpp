@@ -1,0 +1,66 @@
+#include "net/impaired.hpp"
+
+namespace ldp::net {
+
+Result<bool> ImpairedUdpSocket::send_to(const Endpoint& dst,
+                                        std::span<const uint8_t> payload) {
+  if (stream_ == nullptr) return sock_.send_to(dst, payload);
+
+  fault::Verdict v = stream_->next(mono_now_ns());
+  if (v.is_drop()) return true;  // the link ate it; to the caller it left
+
+  std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  if (v.action == fault::Action::Corrupt) stream_->corrupt(bytes);
+
+  if (v.extra_delay > 0 && loop_ != nullptr) {
+    // Held by the link: deliver from a timer. Delivery failures at that
+    // point are indistinguishable from loss, which is exactly what a
+    // delayed-then-dropped packet is.
+    size_t copies = v.action == fault::Action::Duplicate ? 2 : 1;
+    loop_->add_timer_after(v.extra_delay,
+                           [this, dst, bytes = std::move(bytes), copies] {
+                             for (size_t i = 0; i < copies; ++i)
+                               (void)sock_.send_to(dst, bytes);
+                           });
+    return true;
+  }
+
+  auto sent = LDP_TRY(sock_.send_to(dst, bytes));
+  if (v.action == fault::Action::Duplicate && sent) {
+    // Best-effort second copy; a full kernel buffer just drops the dup,
+    // which is fine — duplication is an impairment, not a guarantee.
+    (void)sock_.send_to(dst, bytes);
+  }
+  return sent;
+}
+
+TcpSendOutcome impaired_tcp_send(TcpStream& tcp, fault::FaultStream* stream,
+                                 TimeNs now, std::span<const uint8_t> payload,
+                                 size_t* pending_out) {
+  if (pending_out != nullptr) *pending_out = 0;
+  if (stream == nullptr) {
+    auto sent = tcp.send_message(payload);
+    if (!sent.ok()) return TcpSendOutcome::Error;
+    if (pending_out != nullptr) *pending_out = *sent;
+    return TcpSendOutcome::Sent;
+  }
+
+  fault::Verdict v = stream->next(now);
+  if (v.is_drop()) {
+    return v.reason == fault::DropReason::Flap ? TcpSendOutcome::LinkDown
+                                               : TcpSendOutcome::Eaten;
+  }
+  std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  if (v.action == fault::Action::Corrupt) stream->corrupt(bytes);
+  auto sent = tcp.send_message(bytes);
+  if (!sent.ok()) return TcpSendOutcome::Error;
+  if (v.action == fault::Action::Duplicate) {
+    auto again = tcp.send_message(bytes);
+    if (!again.ok()) return TcpSendOutcome::Error;
+    sent = again;
+  }
+  if (pending_out != nullptr) *pending_out = *sent;
+  return TcpSendOutcome::Sent;
+}
+
+}  // namespace ldp::net

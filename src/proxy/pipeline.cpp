@@ -1,5 +1,7 @@
 #include "proxy/pipeline.hpp"
 
+#include "util/clock.hpp"
+
 namespace ldp::proxy {
 
 ProxyPipeline::ProxyPipeline(ServerProxy proxy, SendFn send, size_t workers,
@@ -13,7 +15,15 @@ ProxyPipeline::ProxyPipeline(ServerProxy proxy, SendFn send, size_t workers,
 
 ProxyPipeline::~ProxyPipeline() { shutdown(); }
 
-void ProxyPipeline::submit(Datagram pkt) { queue_.push(std::move(pkt)); }
+void ProxyPipeline::submit(Datagram pkt) {
+  if (fault_ != nullptr) {
+    fault::Verdict verdict = fault_->next(mono_now_ns());
+    if (verdict.is_drop()) return;  // link ate it before capture
+    if (verdict.action == fault::Action::Corrupt) fault_->corrupt(pkt.payload);
+    if (verdict.action == fault::Action::Duplicate) queue_.push(Datagram(pkt));
+  }
+  queue_.push(std::move(pkt));
+}
 
 void ProxyPipeline::shutdown() {
   if (stopped_) return;

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "proxy/proxy.hpp"
 #include "util/queue.hpp"
 
@@ -34,17 +35,32 @@ class ProxyPipeline {
   /// Reader-side entry: blocks when workers are behind.
   void submit(Datagram pkt);
 
+  /// Impair the capture path: packets pass through `stream` before they are
+  /// enqueued (drops never reach a worker; duplicates are enqueued twice;
+  /// corrupt verdicts mangle the payload). Called from the reader thread
+  /// only, so the stream's draw sequence — and therefore its counters — is
+  /// deterministic in packet order. Timing impairments (delay/jitter/
+  /// reorder) are counted but not applied: the pipeline has no clock, and
+  /// queue handoff already reorders. The stream must outlive the pipeline;
+  /// nullptr restores the clean path.
+  void set_fault(fault::FaultStream* stream) { fault_ = stream; }
+
   /// Stop accepting, drain, join workers.
   void shutdown();
 
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
   uint64_t forwarded() const { return forwarded_.load(std::memory_order_relaxed); }
+  /// Fault-layer accounting for the capture path (zeroes when unimpaired).
+  fault::ImpairmentCounters impairments() const {
+    return fault_ != nullptr ? fault_->counters() : fault::ImpairmentCounters{};
+  }
 
  private:
   void worker_loop();
 
   ServerProxy proxy_;
   SendFn send_;
+  fault::FaultStream* fault_ = nullptr;
   BoundedQueue<Datagram> queue_;
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> dropped_{0};

@@ -27,6 +27,7 @@ void EngineReport::merge_from(EngineReport&& other) {
   mutator_dropped += other.mutator_dropped;
   max_in_flight = std::max(max_in_flight, other.max_in_flight);
   lifecycle.merge(other.lifecycle);
+  impairments.merge(other.impairments);
   latency_hist.merge(other.latency_hist);
   replay_end = std::max(replay_end, other.replay_end);
   // Fast mode sends before the startup-lead origin; lower the start to the
@@ -78,7 +79,7 @@ class QueryEngine::Querier {
 
  private:
   struct UdpSock {
-    std::unique_ptr<net::UdpSocket> sock;
+    std::unique_ptr<net::ImpairedUdpSocket> sock;
     PendingTable pending;
   };
 
@@ -89,9 +90,29 @@ class QueryEngine::Querier {
     uint32_t reconnects_used = 0;  // reconnect budget consumed for this source
     std::vector<std::vector<uint8_t>> backlog;  // queued until connected
     PendingTable pending;
+    // Per-source impairment stream (owned by the querier's stream map, so
+    // the draw sequence survives reconnects).
+    fault::FaultStream* fault = nullptr;
 
     explicit TcpConn(net::TcpStream s) : stream(std::move(s)) {}
   };
+
+  /// Per-source fault stream, created on first use; nullptr when the
+  /// engine runs without an impairment scenario. The name is derived from
+  /// the *original trace source*, not the querier, so the pattern a source
+  /// sees is partition-independent (multi-controller equivalence).
+  fault::FaultStream* fault_stream(const char* prefix, const IpAddr& source) {
+    if (!config_.fault.has_value()) return nullptr;
+    std::string name = std::string(prefix) + source.to_string();
+    auto it = fault_streams_.find(name);
+    if (it == fault_streams_.end()) {
+      it = fault_streams_
+               .emplace(name, std::make_unique<fault::FaultStream>(*config_.fault,
+                                                                   name))
+               .first;
+    }
+    return it->second.get();
+  }
 
   void wake() {
     uint64_t one = 1;
@@ -157,6 +178,7 @@ class QueryEngine::Querier {
     SendRecord sr;
     sr.trace_time = rec.timestamp;
     sr.send_time = mono_now_ns();
+    sr.source = rec.src.addr;
     sr.querier = id_;
     report_.sends.push_back(sr);
     ++report_.queries_sent;
@@ -213,17 +235,24 @@ class QueryEngine::Querier {
           ++report_.lifecycle.duplicate_ids;
         note_in_flight(+1);
       } else {
-        auto sent = conn->stream.send_message(pq.payload);
+        size_t still_pending = 0;
+        auto out = net::impaired_tcp_send(conn->stream, conn->fault,
+                                          sr.send_time, pq.payload,
+                                          &still_pending);
         if (conn->pending.insert(std::move(pq)))
           ++report_.lifecycle.duplicate_ids;
         note_in_flight(+1);
-        if (!sent.ok()) {
-          // Connection broke mid-send: the pending entry survives in the
-          // table, so the reconnect path resends it.
+        if (out == net::TcpSendOutcome::Error ||
+            out == net::TcpSendOutcome::LinkDown) {
+          // Connection broke mid-send (or the link flapped away under it):
+          // the pending entry survives in the table, so the reconnect path
+          // resends it.
           close_tcp(rec.src.addr, /*lost=*/true);
           return;
         }
-        if (*sent > 0) {
+        // An Eaten message simply stays pending; the lifecycle timer
+        // resends it like any other timeout.
+        if (still_pending > 0) {
           // Kernel buffer full: wait for writability to flush the rest.
           (void)loop_.modify_fd(conn->stream.fd(), net::Interest{true, true});
         }
@@ -238,7 +267,8 @@ class QueryEngine::Querier {
     auto sock = net::UdpSocket::bind(Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, 0});
     if (!sock.ok()) return nullptr;
     auto owned = std::make_unique<UdpSock>();
-    owned->sock = std::make_unique<net::UdpSocket>(std::move(*sock));
+    owned->sock = std::make_unique<net::ImpairedUdpSocket>(
+        std::move(*sock), fault_stream("udp:", source), &loop_);
     UdpSock* raw = owned.get();
     auto add = loop_.add_fd(raw->sock->fd(), net::Interest{true, false},
                             [this, raw](bool, bool) { on_udp_readable(raw); });
@@ -254,6 +284,7 @@ class QueryEngine::Querier {
     if (!stream.ok()) return nullptr;
     auto owned = std::make_unique<TcpConn>(std::move(*stream));
     TcpConn* raw = owned.get();
+    raw->fault = fault_stream("tcp:", source);
     (void)raw->stream.set_nodelay(true);  // §5.2.1 disables Nagle at clients
     auto add = loop_.add_fd(raw->stream.fd(), net::Interest{true, true},
                             [this, source, raw](bool readable, bool writable) {
@@ -282,12 +313,15 @@ class QueryEngine::Querier {
                     bool writable) {
     if (writable && !conn->connected) {
       conn->connected = true;
+      TimeNs now = mono_now_ns();
       for (auto& msg : conn->backlog) {
-        auto sent = conn->stream.send_message(msg);
-        if (!sent.ok()) {
+        auto out = net::impaired_tcp_send(conn->stream, conn->fault, now, msg);
+        if (out == net::TcpSendOutcome::Error ||
+            out == net::TcpSendOutcome::LinkDown) {
           close_tcp(source, /*lost=*/true);
           return;
         }
+        // Eaten messages stay pending and resend on timeout.
       }
       conn->backlog.clear();
       // Keep write interest while the flush left bytes behind — dropping it
@@ -482,13 +516,16 @@ class QueryEngine::Querier {
       conn->pending.insert(std::move(pq));
       return;
     }
-    auto sent = conn->stream.send_message(pq.payload);
-    if (!sent.ok()) {
+    size_t still_pending = 0;
+    auto out = net::impaired_tcp_send(conn->stream, conn->fault, now, pq.payload,
+                                      &still_pending);
+    if (out == net::TcpSendOutcome::Error ||
+        out == net::TcpSendOutcome::LinkDown) {
       conn->pending.insert(std::move(pq));
       close_tcp(source, /*lost=*/true);  // resends via the reconnect path
       return;
     }
-    if (*sent > 0)
+    if (still_pending > 0)
       (void)loop_.modify_fd(conn->stream.fd(), net::Interest{true, true});
     conn->pending.insert(std::move(pq));
   }
@@ -546,6 +583,8 @@ class QueryEngine::Querier {
     for (const auto& sr : report_.sends) {
       report_.replay_end = std::max(report_.replay_end, sr.send_time);
     }
+    for (const auto& [name, stream] : fault_streams_)
+      report_.impairments.merge(stream->counters());
   }
 
   uint32_t id_;
@@ -558,6 +597,11 @@ class QueryEngine::Querier {
 
   std::unordered_map<IpAddr, std::unique_ptr<UdpSock>, IpAddrHash> udp_socks_;
   std::unordered_map<IpAddr, std::unique_ptr<TcpConn>, IpAddrHash> tcp_conns_;
+  // Named per-source impairment streams ("udp:<src>" / "tcp:<src>"),
+  // created lazily; they outlive reconnects so a source's draw sequence is
+  // continuous for the whole replay.
+  std::unordered_map<std::string, std::unique_ptr<fault::FaultStream>>
+      fault_streams_;
 
   EngineReport report_;
   uint64_t next_key_ = 1;

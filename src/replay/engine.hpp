@@ -10,10 +10,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <thread>
 
+#include "fault/fault.hpp"
 #include "mutate/mutator.hpp"
 #include "net/event_loop.hpp"
+#include "net/impaired.hpp"
 #include "net/socket.hpp"
 #include "replay/pending.hpp"
 #include "replay/schedule.hpp"
@@ -56,6 +59,13 @@ struct EngineConfig {
   /// The pipeline must outlive the replay. Records the mutator drops or
   /// cannot decode are skipped and counted.
   const mutate::MutatorPipeline* live_mutator = nullptr;
+  /// Network impairment scenario (ldp::fault) applied to the query path:
+  /// every per-source socket / connection sends through its own named
+  /// FaultStream ("udp:<src>" / "tcp:<src>"), so the impairment pattern a
+  /// source sees is a function of the seed alone — identical regardless of
+  /// how sources are spread over queriers or controllers. nullopt = clean
+  /// link.
+  std::optional<fault::FaultSpec> fault;
 };
 
 /// One sent query, for the Figures 6-8 fidelity analysis.
@@ -63,6 +73,7 @@ struct SendRecord {
   TimeNs trace_time;   ///< original timestamp (ns, trace timeline)
   TimeNs send_time;    ///< actual send (ns, monotonic timeline)
   TimeNs latency = -1; ///< response latency from first send; -1 if unanswered
+  IpAddr source;       ///< original trace source (per-source fault analysis)
   uint32_t querier = 0;
   uint32_t retries = 0;  ///< retransmits this query needed
   QueryOutcome outcome = QueryOutcome::Pending;
@@ -79,6 +90,7 @@ struct EngineReport {
   /// bounded by the expiry window, so long replays with loss stay flat.
   uint64_t max_in_flight = 0;
   metrics::LifecycleCounters lifecycle;  ///< timeout/retry/expiry accounting
+  fault::ImpairmentCounters impairments; ///< what the fault layer did to us
   metrics::Histogram latency_hist;       ///< answered-query latency (ns)
   TimeNs replay_start = 0;  ///< monotonic t₁
   TimeNs replay_end = 0;

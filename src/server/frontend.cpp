@@ -9,7 +9,12 @@ Result<std::unique_ptr<ServerFrontend>> ServerFrontend::start(net::EventLoop& lo
                                                               FrontendConfig config) {
   auto fe = std::unique_ptr<ServerFrontend>(new ServerFrontend(loop, server, config));
 
-  fe->udp_ = LDP_TRY(net::UdpSocket::bind(config.bind));
+  if (config.fault.has_value() && config.fault->enabled()) {
+    fe->udp_fault_ = std::make_unique<fault::FaultStream>(*config.fault, "srv:udp");
+    fe->tcp_fault_ = std::make_unique<fault::FaultStream>(*config.fault, "srv:tcp");
+  }
+  auto udp_sock = LDP_TRY(net::UdpSocket::bind(config.bind));
+  fe->udp_.emplace(std::move(udp_sock), fe->udp_fault_.get(), &loop);
   fe->endpoint_ = LDP_TRY(fe->udp_->local_endpoint());
   // TCP listens on the port UDP got (so port 0 requests line up).
   Endpoint tcp_bind = config.bind;
@@ -26,6 +31,13 @@ Result<std::unique_ptr<ServerFrontend>> ServerFrontend::start(net::EventLoop& lo
 }
 
 ServerFrontend::~ServerFrontend() { shutdown(); }
+
+fault::ImpairmentCounters ServerFrontend::impairments() const {
+  fault::ImpairmentCounters total;
+  if (udp_fault_ != nullptr) total.merge(udp_fault_->counters());
+  if (tcp_fault_ != nullptr) total.merge(tcp_fault_->counters());
+  return total;
+}
 
 void ServerFrontend::shutdown() {
   if (shut_down_) return;
@@ -88,8 +100,10 @@ void ServerFrontend::on_conn_readable(std::list<Connection>::iterator it) {
     // Connection transports carry no size limit (udp_limit = 0).
     auto reply = server_.answer_wire(msg, it->stream.peer().addr, 0);
     if (reply.has_value()) {
-      auto sent = it->stream.send_message(*reply);
-      if (!sent.ok()) {
+      auto out = net::impaired_tcp_send(it->stream, tcp_fault_.get(),
+                                        mono_now_ns(), *reply);
+      if (out == net::TcpSendOutcome::Error ||
+          out == net::TcpSendOutcome::LinkDown) {
         close_connection(it, false);
         return;
       }

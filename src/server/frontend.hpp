@@ -7,7 +7,9 @@
 #include <list>
 #include <memory>
 
+#include "fault/fault.hpp"
 #include "net/event_loop.hpp"
+#include "net/impaired.hpp"
 #include "net/socket.hpp"
 #include "server/auth_server.hpp"
 
@@ -20,6 +22,12 @@ struct FrontendConfig {
   /// How often the idle sweep runs.
   TimeNs sweep_interval = kSecond;
   size_t udp_payload_limit = 512;
+  /// Egress impairment: replies leave through fault streams "srv:udp" /
+  /// "srv:tcp" (a lossy link is symmetric for query/response accounting —
+  /// an eaten reply and an eaten query both look like a lost exchange to
+  /// the client). A TCP link-flap drop closes the connection, exercising
+  /// client reconnect paths. nullopt = clean link.
+  std::optional<fault::FaultSpec> fault;
 };
 
 struct ConnectionStats {
@@ -48,6 +56,10 @@ class ServerFrontend {
 
   const ConnectionStats& connections() const { return conn_stats_; }
 
+  /// Combined fault-layer accounting for both egress streams (all zeroes
+  /// when the frontend runs unimpaired).
+  fault::ImpairmentCounters impairments() const;
+
   /// Close listeners and all connections (also done by the destructor).
   void shutdown();
 
@@ -71,7 +83,9 @@ class ServerFrontend {
   AuthServer& server_;
   FrontendConfig config_;
   Endpoint endpoint_;
-  std::optional<net::UdpSocket> udp_;
+  std::unique_ptr<fault::FaultStream> udp_fault_;  // must outlive udp_
+  std::unique_ptr<fault::FaultStream> tcp_fault_;
+  std::optional<net::ImpairedUdpSocket> udp_;
   std::optional<net::TcpListener> listener_;
   std::list<Connection> connections_;
   ConnectionStats conn_stats_;

@@ -26,6 +26,24 @@ struct SimState {
 
   std::unordered_map<IpAddr, ClientConn, IpAddrHash> conns;
   std::unordered_map<IpAddr, uint64_t, IpAddrHash> client_load;
+  // Per-source impairment streams, named like the real-socket engine's so
+  // one scenario definition drives both runtimes.
+  std::unordered_map<std::string, std::unique_ptr<fault::FaultStream>> faults;
+
+  fault::FaultStream* fault_stream(const trace::TraceRecord& rec) {
+    if (config->fault == nullptr) return nullptr;
+    std::string name =
+        (rec.transport == Transport::Udp ? "udp:" : "tcp:") +
+        rec.src.addr.to_string();
+    auto it = faults.find(name);
+    if (it == faults.end()) {
+      it = faults
+               .emplace(name, std::make_unique<fault::FaultStream>(
+                                  *config->fault, name))
+               .first;
+    }
+    return it->second.get();
+  }
 
   size_t established = 0;
   size_t established_tls = 0;
@@ -108,6 +126,17 @@ SimReplayResult simulate_replay(const std::vector<TraceRecord>& trace,
     }
 
     ++result.queries;
+
+    // Fault hook: same FaultSpec (and stream names) the real-socket engine
+    // uses, decided in virtual time — bit-exact across runs.
+    fault::Verdict verdict;
+    fault::FaultStream* fs = state.fault_stream(rec);
+    if (fs != nullptr) verdict = fs->next(state.sim.now());
+    if (verdict.is_drop()) {
+      ++result.queries_lost;  // link ate it before the server saw anything
+      return;
+    }
+
     TimeNs latency = 0;
 
     if (rec.transport == Transport::Udp) {
@@ -154,13 +183,31 @@ SimReplayResult simulate_replay(const std::vector<TraceRecord>& trace,
       conn.last_activity = now + latency;  // server sees the full exchange
     }
 
-    // Answer through the real server engine for response accounting.
+    latency += verdict.extra_delay;  // fault-layer delay/reorder hold-back
+
+    // Answer through the real server engine for response accounting. A
+    // corrupt verdict mangles the wire bytes first — the server then drops
+    // what it cannot parse (answer_wire -> nullopt), or answers garbage,
+    // exactly like the real path.
     size_t limit = rec.transport == Transport::Udp ? config.udp_limit : 0;
-    auto reply = server.answer_wire(rec.dns_payload, rec.src.addr, limit);
+    const std::vector<uint8_t>* payload = &rec.dns_payload;
+    std::vector<uint8_t> corrupted;
+    if (verdict.action == fault::Action::Corrupt) {
+      corrupted = rec.dns_payload;
+      fs->corrupt(corrupted);
+      payload = &corrupted;
+    }
+    auto reply = server.answer_wire(*payload, rec.src.addr, limit);
     if (reply.has_value()) {
       ++result.responses;
       state.response_bytes_window += reply->size();
       if (reply->size() > 2 && ((*reply)[2] & 0x02) != 0) ++result.truncated;
+      if (verdict.action == fault::Action::Duplicate) {
+        // The duplicate reaches the server too and is answered again.
+        ++result.responses;
+        state.response_bytes_window += reply->size();
+        state.add_cpu(config.cpu.query_cost_us(rec.transport));
+      }
     }
 
     double ms = ns_to_ms(latency);
@@ -194,6 +241,8 @@ SimReplayResult simulate_replay(const std::vector<TraceRecord>& trace,
   }
 
   state.sim.run();
+  for (const auto& [name, stream] : state.faults)
+    result.impairments.merge(stream->counters());
   return result;
 }
 

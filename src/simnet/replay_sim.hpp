@@ -13,6 +13,7 @@
 
 #include <unordered_map>
 
+#include "fault/fault.hpp"
 #include "server/auth_server.hpp"
 #include "simnet/model.hpp"
 #include "simnet/sim.hpp"
@@ -31,6 +32,12 @@ struct SimReplayConfig {
   uint64_t busy_threshold = 250;
   /// UDP payload limit for truncation semantics.
   size_t udp_limit = 512;
+  /// Impairment scenario applied to the client→server path, sharing the
+  /// FaultSpec definitions (and per-source stream names, "udp:<src>" /
+  /// "tcp:<src>") with the real-socket engine — the same scenario file
+  /// drives testbed and discrete-event runs. Virtual time makes simnet
+  /// runs bit-exact. nullptr = clean link.
+  const fault::FaultSpec* fault = nullptr;
 };
 
 /// One metrics sample (a point on the Figure 13/14 time axes).
@@ -53,7 +60,9 @@ struct SimReplayResult {
   uint64_t connections_closed_idle = 0;
   uint64_t handshakes_reused = 0;  ///< queries that reused a connection
   uint64_t truncated = 0;
+  uint64_t queries_lost = 0;       ///< eaten by the fault layer (no response)
   size_t peak_established = 0;
+  fault::ImpairmentCounters impairments;  ///< fault-layer accounting
 
   /// Steady-state view (samples after the warmup prefix).
   Summary steady_memory_gb(size_t skip_samples = 5) const;

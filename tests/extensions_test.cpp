@@ -93,6 +93,62 @@ TEST(ShardedMetaServer, NoAddressesRejected) {
   EXPECT_FALSE(sharded.add_zone(tld_zone("x"), {}).ok());
 }
 
+TEST(ShardedMetaServer, StraddlingRejectionIsDeterministicAndAtomic) {
+  // With two empty shards, the first distinct identity lands on shard 0 and
+  // the second on shard 1 (least-loaded placement), so a zone claiming both
+  // is a guaranteed straddle — no hash luck involved.
+  server::ShardedMetaServer sharded(2);
+  IpAddr a{Ip4{10, 3, 2, 1}}, b{Ip4{10, 3, 2, 2}}, c{Ip4{10, 3, 2, 3}};
+  ASSERT_TRUE(sharded.add_zone(tld_zone("one"), {a}).ok());
+  ASSERT_TRUE(sharded.add_zone(tld_zone("two"), {b}).ok());
+  ASSERT_NE(*sharded.route(a), *sharded.route(b));
+
+  auto loads_before = sharded.zones_per_shard();
+  auto r = sharded.add_zone(tld_zone("three"), {a, c, b});
+  EXPECT_FALSE(r.ok());
+  // Rejection must be atomic: the fresh address in the failed zone's
+  // nameserver set is not registered, and no shard gained a zone.
+  EXPECT_FALSE(sharded.route(c).has_value());
+  EXPECT_EQ(sharded.zones_per_shard(), loads_before);
+
+  // Queries keyed on the never-registered address are refused, not
+  // misrouted to whichever shard the failed add_zone was aimed at.
+  Message q = Message::make_query(3, mk("www.three"), RRType::A, false);
+  EXPECT_EQ(sharded.answer(q, c).header.rcode, Rcode::Refused);
+}
+
+TEST(ShardedMetaServer, InterleavedAddsRebalanceAroundPinnedShard) {
+  // A shared nameserver identity pins zones to one shard and skews the
+  // load; subsequent distinct-identity adds must flow to the least-loaded
+  // shards until everything levels out again.
+  server::ShardedMetaServer sharded(3);
+  IpAddr pinned_ns{Ip4{10, 3, 3, 1}};
+  ASSERT_TRUE(sharded.add_zone(tld_zone("pin0"), {pinned_ns}).ok());
+  const size_t pinned_shard = *sharded.route(pinned_ns);
+  for (int i = 1; i < 4; ++i) {
+    auto s = sharded.add_zone(tld_zone("pin" + std::to_string(i)), {pinned_ns});
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(*s, pinned_shard);
+  }
+  // One shard now holds 4 zones, the others 0. Eight distinct identities,
+  // interleaved with lookups, should fill the other shards back to parity.
+  for (int i = 0; i < 8; ++i) {
+    IpAddr addr{Ip4{10, 3, 4, static_cast<uint8_t>(i + 1)}};
+    auto s = sharded.add_zone(tld_zone("solo" + std::to_string(i)), {addr});
+    ASSERT_TRUE(s.ok());
+    EXPECT_NE(*s, pinned_shard) << "add " << i << " placed on the loaded shard";
+    EXPECT_EQ(*sharded.route(addr), *s);
+  }
+  auto loads = sharded.zones_per_shard();
+  ASSERT_EQ(loads.size(), 3u);
+  for (size_t n : loads) EXPECT_EQ(n, 4u);  // 12 zones, perfectly level
+
+  // The pinned identity still answers through its shard after the
+  // rebalance (view match is first-wins, so the key reaches pin0's view).
+  Message q = Message::make_query(4, mk("www.pin0"), RRType::A, false);
+  EXPECT_EQ(sharded.answer(q, pinned_ns).header.rcode, Rcode::NoError);
+}
+
 // --- CDN answer rotation -----------------------------------------------------
 
 TEST(CdnRotation, SuccessiveQueriesSeeRotatedFirstAnswer) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "dns/message.hpp"
+#include "fault/fault.hpp"
 #include "trace/binary.hpp"
 #include "trace/pcap.hpp"
 #include "trace/text.hpp"
@@ -90,6 +91,57 @@ TEST_P(WireFuzz, CompressionPointerAbuse) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Range(1, 6));
+
+// Seed-corpus round-trip through the fault layer's corrupt impairment: the
+// exact byte-flipping the replay/proxy/server paths apply to live packets
+// must never crash the wire parser, and whatever still parses must
+// re-encode. This ties the fuzzer to the corruption the fault scenarios
+// actually generate (same FaultStream draws), not just to uniform random
+// mutation.
+class FaultCorruptFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultCorruptFuzz, CorruptedWireMessagesNeverCrashParsing) {
+  fault::FaultSpec spec;
+  spec.corrupt = 1.0;
+  spec.seed = static_cast<uint64_t>(GetParam());
+  // Sweep the corruption intensity: a single flipped byte up to heavy
+  // mangling of a quarter of the message.
+  for (size_t max_bytes : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
+    spec.corrupt_max_bytes = max_bytes;
+    fault::FaultStream stream(spec, "fuzz:corrupt");
+    auto base = sample_message_bytes();
+    for (int iter = 0; iter < 300; ++iter) {
+      auto bytes = base;
+      stream.corrupt(bytes);
+      EXPECT_EQ(bytes.size(), base.size());  // corruption flips, never resizes
+      EXPECT_NE(bytes, base);                // and always changes something
+      auto parsed = Message::from_wire(bytes);
+      if (parsed.ok()) {
+        auto rewire = parsed->to_wire();
+        EXPECT_FALSE(rewire.empty());
+      }
+    }
+  }
+}
+
+TEST_P(FaultCorruptFuzz, CorruptedQueriesNeverCrashParsing) {
+  fault::FaultSpec spec;
+  spec.corrupt = 1.0;
+  spec.seed = static_cast<uint64_t>(GetParam()) + 500;
+  spec.corrupt_max_bytes = 8;
+  fault::FaultStream stream(spec, "fuzz:query");
+  Message q = Message::make_query(9, *Name::parse("a.b.c.example.com"),
+                                  RRType::AAAA);
+  auto base = q.to_wire();
+  for (int iter = 0; iter < 500; ++iter) {
+    auto bytes = base;
+    stream.corrupt(bytes);
+    auto parsed = Message::from_wire(bytes);
+    if (parsed.ok()) (void)parsed->to_wire();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultCorruptFuzz, ::testing::Range(1, 6));
 
 class PcapFuzz : public ::testing::TestWithParam<int> {};
 

@@ -1,7 +1,8 @@
 // Query-lifecycle subsystem tests: PendingTable semantics (ID-collision
 // FIFO matching, deadline-driven expiry, bounded size), UDP
-// retransmit-on-timeout against a deliberately lossy responder, TCP
-// reconnect-and-resend after a mid-flight connection loss, and the
+// retransmit-on-timeout under ldp::fault packet loss (the engine's own
+// deterministic impairment layer — the responder itself always answers),
+// TCP reconnect-and-resend after a mid-flight connection loss, and the
 // EngineReport timeout/retry/duplicate counters the fidelity analysis
 // depends on.
 #include <arpa/inet.h>
@@ -126,12 +127,14 @@ TEST(PendingTableT, BoundedUnderSustainedLoss) {
 }
 
 // ---------------------------------------------------------------------------
-// Lossy UDP responder: answers every query (echoing the id with QR set)
-// except each drop_every-th received datagram, which it silently drops.
+// Echo UDP responder: answers every query by echoing the payload with QR
+// set. Loss is injected on the engine side by the ldp::fault layer, so the
+// drop pattern is seed-deterministic instead of depending on responder
+// receive order.
 // ---------------------------------------------------------------------------
-class LossyUdpResponder {
+class EchoUdpResponder {
  public:
-  explicit LossyUdpResponder(int drop_every) : drop_every_(drop_every) {
+  EchoUdpResponder() {
     fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
     sockaddr_in sa{};
     sa.sin_family = AF_INET;
@@ -146,7 +149,7 @@ class LossyUdpResponder {
     thread_ = std::thread([this] { run(); });
   }
 
-  ~LossyUdpResponder() {
+  ~EchoUdpResponder() {
     stop_.store(true);
     if (thread_.joinable()) thread_.join();
     ::close(fd_);
@@ -156,7 +159,6 @@ class LossyUdpResponder {
     return Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, port_};
   }
   uint64_t received() const { return received_.load(); }
-  uint64_t dropped() const { return dropped_.load(); }
 
  private:
   void run() {
@@ -167,11 +169,7 @@ class LossyUdpResponder {
       ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), 0,
                              reinterpret_cast<sockaddr*>(&from), &len);
       if (n < 0) continue;  // timeout: re-check stop flag
-      uint64_t seq = received_.fetch_add(1) + 1;
-      if (drop_every_ > 0 && seq % static_cast<uint64_t>(drop_every_) == 0) {
-        dropped_.fetch_add(1);
-        continue;
-      }
+      received_.fetch_add(1);
       if (n >= 3) buf[2] |= 0x80;  // QR: make it a response
       ::sendto(fd_, buf, static_cast<size_t>(n), 0,
                reinterpret_cast<sockaddr*>(&from), len);
@@ -179,13 +177,18 @@ class LossyUdpResponder {
   }
 
   int fd_ = -1;
-  int drop_every_;
   uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> received_{0};
-  std::atomic<uint64_t> dropped_{0};
   std::thread thread_;
 };
+
+fault::FaultSpec loss_spec(double p, uint64_t seed) {
+  fault::FaultSpec spec;
+  spec.drop = p;
+  spec.seed = seed;
+  return spec;
+}
 
 std::vector<TraceRecord> small_udp_trace(size_t n, TimeNs gap) {
   synth::FixedTraceSpec spec;
@@ -195,11 +198,11 @@ std::vector<TraceRecord> small_udp_trace(size_t n, TimeNs gap) {
   return synth::make_fixed_trace(spec);
 }
 
-// With retry disabled, every dropped query must surface as a timeout and
-// an expired (lost) query — nothing silently disappears, and the counters
-// are exact.
+// With retry disabled, every fault-layer drop must surface as a timeout
+// and an expired (lost) query — nothing silently disappears, and the
+// counters are exact (the drop pattern is fixed by the seed).
 TEST(QueryLifecycleT, RetryDisabledCountsEveryLoss) {
-  LossyUdpResponder responder(/*drop_every=*/5);
+  EchoUdpResponder responder;
 
   auto trace = small_udp_trace(50, kMilli);
   EngineConfig cfg;
@@ -210,19 +213,24 @@ TEST(QueryLifecycleT, RetryDisabledCountsEveryLoss) {
   cfg.max_retries = 0;
   cfg.query_timeout = 200 * kMilli;
   cfg.drain_grace = 5 * kSecond;  // expiry, not the grace, ends the replay
+  cfg.fault = loss_spec(0.2, 5);
   QueryEngine engine(cfg);
   auto report = engine.replay(trace);
   ASSERT_TRUE(report.ok()) << report.error().message;
 
+  const uint64_t dropped = report->impairments.dropped;
   EXPECT_EQ(report->queries_sent, 50u);
-  EXPECT_EQ(responder.dropped(), 10u);
-  EXPECT_EQ(report->responses_received, 40u);
-  EXPECT_EQ(report->lifecycle.timeouts, 10u);
-  EXPECT_EQ(report->lifecycle.expired, 10u);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_LT(dropped, 50u);
+  EXPECT_EQ(report->impairments.processed, 50u);
+  EXPECT_EQ(responder.received(), 50u - dropped);
+  EXPECT_EQ(report->responses_received, 50u - dropped);
+  EXPECT_EQ(report->lifecycle.timeouts, dropped);
+  EXPECT_EQ(report->lifecycle.expired, dropped);
   EXPECT_EQ(report->lifecycle.retries, 0u);
   EXPECT_EQ(report->lifecycle.duplicate_ids, 0u);
 
-  size_t answered = 0, timed_out = 0;
+  uint64_t answered = 0, timed_out = 0;
   for (const auto& sr : report->sends) {
     if (sr.outcome == QueryOutcome::Answered) {
       ++answered;
@@ -233,15 +241,15 @@ TEST(QueryLifecycleT, RetryDisabledCountsEveryLoss) {
       ++timed_out;
     }
   }
-  EXPECT_EQ(answered, 40u);
-  EXPECT_EQ(timed_out, 10u);
+  EXPECT_EQ(answered, 50u - dropped);
+  EXPECT_EQ(timed_out, dropped);
 }
 
 // With retry enabled, retransmits recover the dropped queries: ≥99% get
-// answers, every drop is accounted as a timeout, and every timeout that
-// had budget left becomes a retry.
+// answers, every fault-layer drop is accounted as a timeout, and every
+// timeout that had budget left becomes a retry.
 TEST(QueryLifecycleT, RetryRecoversDroppedQueries) {
-  LossyUdpResponder responder(/*drop_every=*/5);
+  EchoUdpResponder responder;
 
   auto trace = small_udp_trace(100, kMilli / 2);
   EngineConfig cfg;
@@ -253,22 +261,27 @@ TEST(QueryLifecycleT, RetryRecoversDroppedQueries) {
   cfg.query_timeout = 150 * kMilli;
   cfg.retry_backoff_cap = 400 * kMilli;
   cfg.drain_grace = 10 * kSecond;
+  cfg.fault = loss_spec(0.2, 5);
   QueryEngine engine(cfg);
   auto report = engine.replay(trace);
   ASSERT_TRUE(report.ok()) << report.error().message;
 
+  const uint64_t dropped = report->impairments.dropped;
   EXPECT_EQ(report->queries_sent, 100u);
+  EXPECT_GT(dropped, 0u);
   EXPECT_GE(report->responses_received, 99u);
   EXPECT_LE(report->lifecycle.expired, 1u);
-  // Exact accounting: each dropped reception fires exactly one timeout,
-  // and each timeout either retried or expired the query.
-  EXPECT_EQ(report->lifecycle.timeouts, responder.dropped());
+  // Exact accounting: each fault-layer drop (initial send or retransmit)
+  // fires exactly one timeout, and each timeout either retried or expired
+  // the query.
+  EXPECT_EQ(report->lifecycle.timeouts, dropped);
   EXPECT_EQ(report->lifecycle.timeouts,
             report->lifecycle.retries + report->lifecycle.expired);
-  EXPECT_GE(report->lifecycle.retries, 20u);  // ≥ first-pass drops
+  // Every dropped send with budget left was retried.
+  EXPECT_GE(report->lifecycle.retries, 1u);
   // Every answered query that needed a retransmit is attributed.
   EXPECT_GE(report->lifecycle.answered_after_retry, 1u);
-  EXPECT_LE(report->lifecycle.answered_after_retry, responder.dropped());
+  EXPECT_LE(report->lifecycle.answered_after_retry, dropped);
   // Conservation: every query is either answered or counted lost.
   EXPECT_EQ(report->responses_received + report->lifecycle.expired, 100u);
 }
@@ -276,7 +289,7 @@ TEST(QueryLifecycleT, RetryRecoversDroppedQueries) {
 // Two same-source queries that share a DNS id must both stay matchable:
 // the old map-clobber behaviour orphaned the first one permanently.
 TEST(QueryLifecycleT, DuplicateIdsBothAnswered) {
-  LossyUdpResponder responder(/*drop_every=*/0);  // never drops
+  EchoUdpResponder responder;  // clean link: no fault spec configured
 
   std::vector<TraceRecord> trace;
   IpAddr client{Ip4{10, 1, 1, 1}};
@@ -308,11 +321,11 @@ TEST(QueryLifecycleT, DuplicateIdsBothAnswered) {
   }
 }
 
-// Engine-level boundedness: a timed replay where the responder drops 10%
+// Engine-level boundedness: a timed replay where the fault layer drops 10%
 // must keep the in-flight table bounded by the expiry window, far below
 // the total query count.
 TEST(QueryLifecycleT, InFlightBoundedDuringLossyTimedReplay) {
-  LossyUdpResponder responder(/*drop_every=*/10);
+  EchoUdpResponder responder;
 
   auto trace = small_udp_trace(2000, kMilli / 2);  // 2000 q/s for 1 s
   EngineConfig cfg;
@@ -323,6 +336,7 @@ TEST(QueryLifecycleT, InFlightBoundedDuringLossyTimedReplay) {
   cfg.max_retries = 0;
   cfg.query_timeout = 100 * kMilli;  // expiry window
   cfg.drain_grace = 2 * kSecond;
+  cfg.fault = loss_spec(0.1, 5);
   QueryEngine engine(cfg);
   auto report = engine.replay(trace);
   ASSERT_TRUE(report.ok()) << report.error().message;

@@ -9,6 +9,8 @@
 //   --dnssec               set the DO bit on every query (§5.1 what-if)
 //   --prefix LABEL         prepend LABEL to every qname (replay matching)
 //   --scale F              multiply inter-arrival gaps by F (0.5 = 2x rate)
+//   --fault SPEC           impair the query path, e.g.
+//                          loss:0.05,reorder:0.01,seed:42 (see ldp::fault)
 //
 // Prints an EngineReport summary plus latency and timing-error quantiles.
 #include <cstdio>
@@ -47,7 +49,8 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--fast] [--distributors N] [--queriers N]\n"
                "          [--transport udp|tcp|tls] [--dnssec] [--prefix LABEL]\n"
-               "          [--scale F] <trace.{pcap,txt,ldpb}> <server-ip> <port>\n",
+               "          [--scale F] [--fault SPEC]\n"
+               "          <trace.{pcap,txt,ldpb}> <server-ip> <port>\n",
                argv0);
 }
 
@@ -91,6 +94,13 @@ int main(int argc, char** argv) {
     } else if (opt == "--scale") {
       mutator.scale_time(std::strtod(need_value(), nullptr));
       has_mutations = true;
+    } else if (opt == "--fault") {
+      auto spec = fault::parse_fault_spec(need_value());
+      if (!spec.ok()) {
+        std::fprintf(stderr, "bad --fault spec: %s\n", spec.error().message.c_str());
+        return 2;
+      }
+      cfg.fault = *spec;
     } else {
       usage(argv[0]);
       return 2;
@@ -161,6 +171,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(lc.deferred_sends),
         static_cast<unsigned long long>(lc.socket_errors));
   }
+  if (cfg.fault.has_value())
+    std::printf("impairments:        %s\n", report->impairments.summary().c_str());
   std::printf("max in flight:      %llu\n",
               static_cast<unsigned long long>(report->max_in_flight));
   std::printf("duration:           %.3f s (%.0f q/s)\n", report->duration_s(),

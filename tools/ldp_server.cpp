@@ -2,7 +2,11 @@
 // zone files (and optionally a views.conf written by ldp-zone-construct)
 // and serves them over UDP+TCP until interrupted.
 //
-//   ldp-server [--port N] [--timeout SECONDS] [--views views.conf] <zone>...
+//   ldp-server [--port N] [--timeout SECONDS] [--views views.conf]
+//              [--fault SPEC] <zone>...
+//
+// --fault impairs the reply path (egress), e.g. loss:0.05,seed:42 — see
+// ldp::fault for the full spec mini-language.
 //
 // Without --views every zone lands in one catch-all view (a plain
 // authoritative server); with it, the split-horizon view set from the zone
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
   TimeNs timeout = 20 * kSecond;
   std::string views_path;
   std::vector<std::string> zone_paths;
+  std::optional<fault::FaultSpec> fault_spec;
 
   for (int i = 1; i < argc; ++i) {
     std::string opt = argv[i];
@@ -53,10 +58,17 @@ int main(int argc, char** argv) {
       timeout = static_cast<TimeNs>(std::strtoul(argv[++i], nullptr, 10)) * kSecond;
     } else if (opt == "--views" && i + 1 < argc) {
       views_path = argv[++i];
+    } else if (opt == "--fault" && i + 1 < argc) {
+      auto spec = fault::parse_fault_spec(argv[++i]);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "bad --fault spec: %s\n", spec.error().message.c_str());
+        return 2;
+      }
+      fault_spec = *spec;
     } else if (opt.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--timeout SECONDS] [--views views.conf]"
-                   " <zone-file>...\n",
+                   " [--fault SPEC] <zone-file>...\n",
                    argv[0]);
       return 2;
     } else {
@@ -129,6 +141,10 @@ int main(int argc, char** argv) {
   server::FrontendConfig fe_cfg;
   fe_cfg.bind = Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, port};
   fe_cfg.tcp_idle_timeout = timeout;
+  fe_cfg.fault = fault_spec;
+  if (fault_spec.has_value())
+    std::fprintf(stderr, "reply-path impairment: %s\n",
+                 fault_spec->to_string().c_str());
   auto frontend = server::ServerFrontend::start(loop, auth, fe_cfg);
   if (!frontend.ok()) {
     std::fprintf(stderr, "cannot start server: %s\n",
@@ -149,5 +165,8 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.queries.load()),
                static_cast<unsigned long long>(stats.refused.load()),
                static_cast<unsigned long long>(stats.nxdomain.load()));
+  if (fault_spec.has_value())
+    std::fprintf(stderr, "impairments: %s\n",
+                 (*frontend)->impairments().summary().c_str());
   return 0;
 }
