@@ -1,8 +1,10 @@
 #include "fault/fault.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/strings.hpp"
@@ -46,18 +48,33 @@ std::string duration_to_string(TimeNs ns) {
   return std::to_string(ns) + "ns";
 }
 
+// Strict decimal parse: the whole of `text` must be one finite non-negative
+// number — trailing garbage ("0.5x"), a second dot ("1.2.3"), a sign, or an
+// empty string are all rejected so a typo'd knob fails loudly instead of
+// silently replaying with a half-parsed value.
+Result<double> parse_number(std::string_view text) {
+  std::string buf(text);
+  if (buf.empty() || !std::isdigit(static_cast<unsigned char>(buf[0])))
+    return Err("bad number '" + buf + "'");
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE ||
+      !std::isfinite(value) || value < 0)
+    return Err("bad number '" + buf + "'");
+  return value;
+}
+
 Result<TimeNs> parse_duration(std::string_view text) {
   size_t i = 0;
   while (i < text.size() &&
          (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.'))
     ++i;
   if (i == 0) return Err("bad duration '" + std::string(text) + "'");
-  double value = 0;
-  try {
-    value = std::stod(std::string(text.substr(0, i)));
-  } catch (...) {
+  auto parsed = parse_number(text.substr(0, i));
+  if (!parsed.ok())
     return Err("bad duration '" + std::string(text) + "'");
-  }
+  double value = *parsed;
   std::string_view unit = text.substr(i);
   double scale;
   if (unit.empty() || unit == "ms") {
@@ -75,16 +92,13 @@ Result<TimeNs> parse_duration(std::string_view text) {
 }
 
 Result<double> parse_probability(std::string_view key, std::string_view text) {
-  double p = 0;
-  try {
-    p = std::stod(std::string(text));
-  } catch (...) {
+  auto p = parse_number(text);
+  if (!p.ok())
     return Err("bad value for " + std::string(key) + ": '" + std::string(text) + "'");
-  }
-  if (p < 0 || p > 1 || !std::isfinite(p))
+  if (*p > 1)
     return Err(std::string(key) + " must be a probability in [0,1], got '" +
                std::string(text) + "'");
-  return p;
+  return *p;
 }
 
 std::string prob_to_string(double p) {
@@ -136,6 +150,11 @@ std::string FaultSpec::to_string() const {
     out << "flap:" << duration_to_string(flap_period) << "/"
         << duration_to_string(flap_down);
   }
+  if (stall_querier >= 0) {
+    sep();
+    out << "querier_stall:" << stall_querier << "@"
+        << duration_to_string(stall_after);
+  }
   sep();
   out << "seed:" << seed;
   return out.str();
@@ -182,6 +201,21 @@ Result<FaultSpec> parse_fault_spec(std::string_view text) {
       if (spec.flap_period <= 0 || spec.flap_down <= 0 ||
           spec.flap_down >= spec.flap_period)
         return Err("flap needs 0 < down < period, got '" + std::string(value) + "'");
+    } else if (key == "querier_stall") {
+      // "<id>@<delay>"; the delay is optional (defaults to stall-at-start).
+      std::string_view id_part = value;
+      size_t at = value.find('@');
+      if (at != std::string_view::npos) {
+        id_part = value.substr(0, at);
+        spec.stall_after = LDP_TRY(parse_duration(value.substr(at + 1)));
+      }
+      int64_t id = -1;
+      auto [p, ec] =
+          std::from_chars(id_part.data(), id_part.data() + id_part.size(), id);
+      if (ec != std::errc{} || p != id_part.data() + id_part.size() || id < 0)
+        return Err("querier_stall wants <querier-id>[@<delay>], got '" +
+                   std::string(value) + "'");
+      spec.stall_querier = id;
     } else if (key == "seed") {
       uint64_t s = 0;
       auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), s);
@@ -266,14 +300,41 @@ Verdict FaultStream::next(TimeNs now) {
 
 void FaultStream::corrupt(std::vector<uint8_t>& payload) {
   if (payload.empty()) return;
-  size_t flips = 1 + corrupt_.uniform(0, spec_.corrupt_max_bytes > 0
-                                             ? spec_.corrupt_max_bytes - 1
-                                             : 0);
+  // Fixed-consumption draws (one engine word each, via modulo) so the exact
+  // number of words this call ate is known — checkpoint/resume fast-forwards
+  // the corruption engine by word count. Modulo bias is irrelevant here:
+  // corruption only needs to be deterministic, not uniform.
+  auto draw = [this](uint64_t lo, uint64_t hi) {
+    ++corrupt_words_;
+    return lo + corrupt_.next_u64() % (hi - lo + 1);
+  };
+  size_t flips = 1 + draw(0, spec_.corrupt_max_bytes > 0
+                                 ? spec_.corrupt_max_bytes - 1
+                                 : 0);
   for (size_t i = 0; i < flips; ++i) {
-    size_t pos = corrupt_.uniform(0, payload.size() - 1);
+    size_t pos = draw(0, payload.size() - 1);
     // XOR with a non-zero byte so the packet always actually changes.
-    payload[pos] ^= static_cast<uint8_t>(corrupt_.uniform(1, 255));
+    payload[pos] ^= static_cast<uint8_t>(draw(1, 255));
   }
+}
+
+FaultStream::Position FaultStream::position(TimeNs real_origin) const {
+  Position pos;
+  pos.packets = packets_base_ + counters_.processed;
+  pos.corrupt_words = corrupt_words_base_ + corrupt_words_;
+  pos.origin_offset = origin_ < 0 ? kNoOrigin : origin_ - real_origin;
+  return pos;
+}
+
+void FaultStream::restore(const Position& pos, TimeNs real_origin) {
+  // Burn the decision draws through the same call path next() uses (five
+  // uniform01 per packet), so engine-word consumption matches exactly no
+  // matter how the standard library implements the distribution.
+  for (uint64_t i = 0; i < pos.packets * 5; ++i) decide_.uniform01();
+  corrupt_.engine().discard(pos.corrupt_words);
+  packets_base_ = pos.packets;
+  corrupt_words_base_ = pos.corrupt_words;
+  if (pos.origin_offset != kNoOrigin) origin_ = real_origin + pos.origin_offset;
 }
 
 }  // namespace ldp::fault

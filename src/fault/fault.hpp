@@ -77,6 +77,13 @@ struct FaultSpec {
   TimeNs flap_down = 0;
   uint64_t seed = 1;
   size_t corrupt_max_bytes = 4;  ///< bytes flipped per corrupted packet (>=1)
+  /// Process-failure injection ("querier_stall:<id>@<delay>"): the querier
+  /// with this engine-global id wedges (stops heartbeating and processing)
+  /// `stall_after` into its run, exercising the supervision/recovery layer.
+  /// Not a link impairment: enabled() ignores it, and no PRNG draws are
+  /// consumed — the stall is a pure function of (id, time). -1 = disabled.
+  int64_t stall_querier = -1;
+  TimeNs stall_after = 0;
 
   /// Anything to do at all? (Counters still run when false.)
   bool enabled() const;
@@ -118,6 +125,33 @@ class FaultStream {
  public:
   FaultStream(const FaultSpec& spec, std::string_view name);
 
+  /// Resumable draw position (checkpoint/resume): how many packets this
+  /// stream has decided and how many raw words the corruption engine has
+  /// consumed, cumulative across restores. `origin_offset` anchors the
+  /// blackhole/flap windows relative to the caller's replay origin
+  /// (real_origin), so a resumed replay re-derives the same trace-relative
+  /// windows on a fresh monotonic timeline; kNoOrigin = not latched yet
+  /// (the offset itself may be negative in fast mode, so -1 won't do).
+  static constexpr TimeNs kNoOrigin = INT64_MIN;
+  struct Position {
+    uint64_t packets = 0;
+    uint64_t corrupt_words = 0;
+    TimeNs origin_offset = kNoOrigin;
+
+    bool operator==(const Position& o) const = default;
+  };
+
+  /// Current cumulative position, with the window origin expressed relative
+  /// to `real_origin`.
+  Position position(TimeNs real_origin) const;
+
+  /// Fast-forward a fresh stream to `pos`: burns exactly the draws the
+  /// first `pos.packets` packets (and corrupt words) consumed, without
+  /// touching the counters, so the next packet after restore sees the same
+  /// verdict it would have seen in an uninterrupted run. Call before the
+  /// first next().
+  void restore(const Position& pos, TimeNs real_origin);
+
   /// Decide one packet's fate at time `now` (monotonic or virtual — only
   /// differences matter; the first call latches the stream origin for the
   /// blackhole/flap windows).
@@ -137,6 +171,11 @@ class FaultStream {
   Rng corrupt_;  ///< variable draws, isolated from decisions
   TimeNs origin_ = -1;  ///< latched at the first packet
   ImpairmentCounters counters_;
+  // Cumulative draw accounting for checkpoint/resume: restored base plus
+  // what this incarnation consumed.
+  uint64_t packets_base_ = 0;
+  uint64_t corrupt_words_base_ = 0;
+  uint64_t corrupt_words_ = 0;
 };
 
 /// Stable stream seed: spec.seed combined with an FNV-1a hash of the stream

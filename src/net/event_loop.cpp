@@ -165,7 +165,9 @@ void EventLoop::poll_once(TimeNs max_wait) {
 }
 
 void EventLoop::run() {
-  stopped_.store(false, std::memory_order_relaxed);
+  // stop() is sticky: a stop that lands before the loop thread reaches
+  // run() must still win, or the shutdown request is lost and the caller's
+  // join hangs. A stopped loop stays stopped; loops are not restarted.
   while (!stopped_.load(std::memory_order_relaxed) &&
          (!callbacks_.empty() || !timer_callbacks_.empty())) {
     poll_once(-1);

@@ -86,6 +86,8 @@ class EventLoop {
 
   /// Stop the loop. Thread-safe: callable from another thread to shut down
   /// a loop blocked in epoll_wait (used by bench/test server threads).
+  /// Sticky: a stop that races ahead of run() still takes effect, and a
+  /// stopped loop stays stopped (loops are single-use, never restarted).
   void stop();
 
   size_t fd_count() const { return callbacks_.size(); }

@@ -1,0 +1,70 @@
+// Deterministic checkpoint/resume for the replay engine: a CheckpointState
+// snapshots everything a fixed-seed replay needs to continue after the
+// process dies — per-source trace positions (how many queries of each
+// source are already on the wire), the draw positions of every named fault
+// stream, the merged counters/histogram so far, and the in-flight queries
+// with their payloads so a resumed run can adopt and resend them.
+//
+// The cut is per-querier consistent: each querier publishes its own
+// snapshot atomically, so a source's sent-count, stream position and
+// pending list always agree with each other. Queries sent after the last
+// snapshot but before the kill are re-sent exactly once on resume (their
+// sent-counts weren't recorded), so queries_sent totals stay exact; the
+// probability-driven impairment counters are draw-order independent, and
+// the window faults (blackhole, flap) re-anchor via origin offsets stored
+// relative to the replay clock origin.
+//
+// Files are plain line-oriented text, written atomically (tmp + rename) so
+// a kill mid-write leaves the previous snapshot intact.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "replay/engine.hpp"
+#include "trace/record.hpp"
+#include "util/result.hpp"
+#include "util/transport.hpp"
+
+namespace ldp::replay {
+
+/// One in-flight query captured at the cut: enough to resend it on resume
+/// (payload + transport + source for socket routing) and to resolve its
+/// original send record when the answer finally arrives.
+struct CheckpointPending {
+  SendRecord record;  ///< outcome Pending; send_time reset on adoption
+  Transport transport = Transport::Udp;
+  uint32_t retries_used = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct CheckpointState {
+  uint64_t trace_hash = 0;     ///< fingerprint of the trace being replayed
+  uint64_t trace_queries = 0;  ///< query records in that trace
+  /// Counters and latency histogram accumulated before the cut. `sends`
+  /// is not serialized (per-record fidelity data does not survive a kill;
+  /// the resumed report carries only the resumed portion's records).
+  EngineReport partial;
+  std::vector<CheckpointPending> pending;
+  /// Named fault-stream draw positions ("udp:<src>" / "tcp:<src>").
+  std::map<std::string, fault::FaultStream::Position> streams;
+  /// Cumulative queries sent per original trace source (keys are the
+  /// canonical IpAddr string form). The resume path skips this many query
+  /// records of each source before sending again.
+  std::map<std::string, uint64_t> sent;
+};
+
+/// Stable fingerprint of a trace (timestamps, sources, payload shapes) so
+/// resume refuses to continue a checkpoint against a different trace.
+uint64_t trace_fingerprint(const std::vector<trace::TraceRecord>& trace);
+
+/// Atomic write: the file at `path` is either the previous snapshot or the
+/// new one, never a torn mix.
+Result<void> save_checkpoint(const std::string& path,
+                             const CheckpointState& state);
+
+Result<CheckpointState> load_checkpoint(const std::string& path);
+
+}  // namespace ldp::replay

@@ -4,8 +4,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstring>
+#include <map>
+#include <mutex>
 
+#include "replay/checkpoint.hpp"
+#include "replay/supervisor.hpp"
 #include "util/log.hpp"
 
 namespace ldp::replay {
@@ -17,6 +23,10 @@ constexpr TimeNs kStartupLead = 100 * kMilli;  // let worker threads spin up
 // Resend delay for queries that never reached the wire (kernel buffer
 // full): short, so the backlog clears as soon as the kernel drains.
 constexpr TimeNs kDeferredSendDelay = 10 * kMilli;
+// How long a blocking push waits between heartbeats, so a producer stuck
+// behind a stalled consumer still looks alive to the supervisor (and
+// re-checks for queue closure, which is how recovery unblocks it).
+constexpr TimeNs kPushBeatGrace = 100 * kMilli;
 }  // namespace
 
 void EngineReport::merge_from(EngineReport&& other) {
@@ -26,20 +36,47 @@ void EngineReport::merge_from(EngineReport&& other) {
   connections_opened += other.connections_opened;
   mutator_dropped += other.mutator_dropped;
   max_in_flight = std::max(max_in_flight, other.max_in_flight);
+  querier_failures += other.querier_failures;
+  sources_reassigned += other.sources_reassigned;
+  shed_queries += other.shed_queries;
+  queue_hwm = std::max(queue_hwm, other.queue_hwm);
+  clamp_stall_ns += other.clamp_stall_ns;
   lifecycle.merge(other.lifecycle);
   impairments.merge(other.impairments);
   latency_hist.merge(other.latency_hist);
   replay_end = std::max(replay_end, other.replay_end);
+  // A resumed run merges a checkpoint's counters whose timing fields are
+  // meaningless in this process — only widen from reports that have one.
+  if (other.replay_start > 0 &&
+      (replay_start == 0 || other.replay_start < replay_start))
+    replay_start = other.replay_start;
   // Fast mode sends before the startup-lead origin; lower the start to the
   // first real send so duration/rate stay meaningful (timed sends are never
-  // earlier than the origin, so this is a no-op there).
+  // earlier than the origin, so this is a no-op there). send_time == 0 is
+  // the not-yet-adopted sentinel on restored records — skip those.
   for (const auto& sr : other.sends) {
-    if (replay_start == 0 || sr.send_time < replay_start)
+    if (sr.send_time > 0 && (replay_start == 0 || sr.send_time < replay_start))
       replay_start = sr.send_time;
   }
   sends.insert(sends.end(), std::make_move_iterator(other.sends.begin()),
                std::make_move_iterator(other.sends.end()));
 }
+
+namespace {
+
+/// What one querier publishes for the checkpoint gatherer: a per-querier
+/// consistent cut of its counters, in-flight queries, per-source sent
+/// counts and fault-stream draw positions. Published by the querier thread
+/// under a mutex; read by the supervisor thread.
+struct QuerierSnapshot {
+  bool valid = false;
+  EngineReport partial;  ///< counters + histogram only, sends stay empty
+  std::vector<CheckpointPending> pending;
+  std::map<std::string, fault::FaultStream::Position> streams;
+  std::map<std::string, uint64_t> sent;
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Querier: one thread, one event loop, sockets pinned per query source.
@@ -49,6 +86,16 @@ void EngineReport::merge_from(EngineReport&& other) {
 // armed at the earliest deadline across tables, drives retransmits and
 // expiry, so pending state is bounded by the retry window even when the
 // server never answers.
+//
+// Supervision: the thread beats a heartbeat from an event-loop timer. A
+// querier_stall fault injection parks the thread (cooperatively wedged: no
+// beats, no processing); the supervisor then reaps it — harvesting its
+// queue, deferred records and pending tables while the thread is provably
+// quiescent — and releases it. In-flight queries salvaged this way carry a
+// pointer to their original send record (extern_rec), so the sibling that
+// adopts them resolves outcomes in the failed querier's report; the
+// engine joins every querier before merging any report, keeping those
+// cross-report writes race-free.
 // ---------------------------------------------------------------------------
 class QueryEngine::Querier {
  public:
@@ -62,18 +109,118 @@ class QueryEngine::Querier {
     if (thread_.joinable()) thread_.join();
   }
 
-  /// Called from the distributor thread.
-  void submit(TraceRecord rec) {
-    queue_.push(std::move(rec));
-    wake();
+  uint32_t id() const { return id_; }
+  BoundedQueue<TraceRecord>& queue() { return queue_; }
+  Heartbeat& heartbeat() { return heartbeat_; }
+  size_t queue_high_water() const { return queue_.high_water(); }
+
+  void wake() {
+    uint64_t one = 1;
+    ssize_t r = ::write(wake_fd_.get(), &one, sizeof(one));
+    (void)r;
   }
+
   void finish() {
     queue_.close();
     wake();
   }
 
-  EngineReport take_report() {
+  /// Hand over in-flight queries (a failed sibling's, or a checkpoint's).
+  /// Every entry must carry extern_rec. Thread-safe; returns false — with
+  /// `orphans` intact — once the querier stopped accepting (shutting down),
+  /// so the caller can grave-yard them with accounting instead of losing
+  /// them in a never-drained inbox.
+  bool adopt(std::vector<PendingQuery>& orphans) {
+    {
+      std::lock_guard lock(adopt_mu_);
+      if (adopt_closed_) return false;
+      for (auto& pq : orphans) adopt_inbox_.push_back(std::move(pq));
+    }
+    orphans.clear();
+    wake();
+    return true;
+  }
+
+  /// Hand over trace records a failed sibling never sent. This bypasses the
+  /// input queue (already closed once routing finished) and rides the adopt
+  /// inbox instead, which stays open for as long as the querier is still
+  /// draining — so mid-drain recovery re-dispatches on the original
+  /// schedule rather than shedding. Same contract as adopt(): false leaves
+  /// `records` intact for the caller to account.
+  bool adopt_records(std::vector<TraceRecord>& records) {
+    {
+      std::lock_guard lock(adopt_mu_);
+      if (adopt_closed_) return false;
+      for (auto& rec : records) record_inbox_.push_back(std::move(rec));
+    }
+    records.clear();
+    wake();
+    return true;
+  }
+
+  /// Everything a reaped querier leaves behind: queries on the wire
+  /// (resendable, with extern record pointers) and trace records it never
+  /// got to send (re-dispatchable through the normal path).
+  struct Salvage {
+    std::vector<PendingQuery> pending;
+    std::vector<TraceRecord> unsent;
+  };
+
+  /// Supervisor-thread half of the recovery handshake. Blocks until the
+  /// thread is provably quiescent (parked after a stall, or finished);
+  /// returns false if it finished normally (false alarm — nothing to
+  /// recover). On true, the querier's state has been harvested into `out`
+  /// and the caller must call release() to let the thread exit.
+  bool reap(Salvage& out) {
+    {
+      std::unique_lock lock(life_mu_);
+      life_cv_.wait(lock, [this] { return parked_ || finished_; });
+      if (!parked_) return false;
+    }
+    // The thread is parked: it reads released_ under life_mu_ and touches
+    // nothing else until release(). Safe to harvest from this thread.
+    queue_.close();
+    while (auto rec = queue_.pop_for(0)) out.unsent.push_back(std::move(*rec));
+    {
+      std::lock_guard lock(adopt_mu_);
+      adopt_closed_ = true;
+      for (auto& pq : adopt_inbox_) out.pending.push_back(std::move(pq));
+      adopt_inbox_.clear();
+      for (auto& rec : record_inbox_) out.unsent.push_back(std::move(rec));
+      record_inbox_.clear();
+    }
+    for (auto& [source, us] : udp_socks_)
+      for (auto& pq : us->pending.drain()) out.pending.push_back(std::move(pq));
+    for (auto& [source, conn] : tcp_conns_)
+      for (auto& pq : conn->pending.drain()) out.pending.push_back(std::move(pq));
+    for (auto& [token, rec] : deferred_records_)
+      out.unsent.push_back(std::move(*rec));
+    deferred_records_.clear();
+    // Point salvaged queries at their records in this report so the
+    // adopter resolves them in place. sends never grows again (the thread
+    // is parked), so the pointers stay stable until after all joins.
+    for (auto& pq : out.pending)
+      if (pq.extern_rec == nullptr) pq.extern_rec = &report_.sends[pq.send_index];
+    return true;
+  }
+
+  void release() {
+    std::lock_guard lock(life_mu_);
+    released_ = true;
+    life_cv_.notify_all();
+  }
+
+  QuerierSnapshot snapshot() const {
+    std::lock_guard lock(snap_mu_);
+    return snap_;
+  }
+
+  void join() {
     if (thread_.joinable()) thread_.join();
+  }
+
+  EngineReport take_report() {
+    join();
     return std::move(report_);
   }
 
@@ -97,10 +244,23 @@ class QueryEngine::Querier {
     explicit TcpConn(net::TcpStream s) : stream(std::move(s)) {}
   };
 
+  /// Resolve the send record a pending query belongs to: its own report
+  /// entry, or — for adopted queries — the record in the failed querier's
+  /// report / the resumed checkpoint's stable storage.
+  SendRecord& record_of(PendingQuery& pq) {
+    return pq.extern_rec != nullptr ? *pq.extern_rec
+                                    : report_.sends[pq.send_index];
+  }
+  const SendRecord& record_of(const PendingQuery& pq) const {
+    return pq.extern_rec != nullptr ? *pq.extern_rec
+                                    : report_.sends[pq.send_index];
+  }
+
   /// Per-source fault stream, created on first use; nullptr when the
   /// engine runs without an impairment scenario. The name is derived from
   /// the *original trace source*, not the querier, so the pattern a source
-  /// sees is partition-independent (multi-controller equivalence).
+  /// sees is partition-independent (multi-controller equivalence). On
+  /// resume the stream fast-forwards to its checkpointed draw position.
   fault::FaultStream* fault_stream(const char* prefix, const IpAddr& source) {
     if (!config_.fault.has_value()) return nullptr;
     std::string name = std::string(prefix) + source.to_string();
@@ -110,38 +270,224 @@ class QueryEngine::Querier {
                .emplace(name, std::make_unique<fault::FaultStream>(*config_.fault,
                                                                    name))
                .first;
+      if (config_.resume != nullptr) {
+        auto rit = config_.resume->streams.find(name);
+        if (rit != config_.resume->streams.end())
+          it->second->restore(rit->second, clock_.real_origin());
+      }
     }
     return it->second.get();
   }
 
-  void wake() {
-    uint64_t one = 1;
-    ssize_t r = ::write(wake_fd_.get(), &one, sizeof(one));
-    (void)r;
+  /// Cumulative queries sent for one source, lazily seeded from the resume
+  /// checkpoint so snapshots always carry whole-replay counts.
+  uint64_t& sent_count_for(const IpAddr& source) {
+    auto it = sent_per_source_.find(source);
+    if (it == sent_per_source_.end()) {
+      uint64_t base = 0;
+      if (config_.resume != nullptr) {
+        auto rit = config_.resume->sent.find(source.to_string());
+        if (rit != config_.resume->sent.end()) base = rit->second;
+      }
+      it = sent_per_source_.emplace(source, base).first;
+    }
+    return it->second;
   }
 
   void run() {
     auto add = loop_.add_fd(wake_fd_.get(), net::Interest{true, false},
                             [this](bool, bool) { on_wake(); });
-    if (!add.ok()) return;
-    loop_.run();
+    if (add.ok()) {
+      if (config_.supervise) {
+        arm_heartbeat();
+        if (config_.fault.has_value() &&
+            config_.fault->stall_querier == static_cast<int64_t>(id_)) {
+          loop_.add_timer_after(std::max<TimeNs>(config_.fault->stall_after, 0),
+                                [this] {
+                                  stalled_ = true;
+                                  loop_.stop();
+                                });
+        }
+      }
+      if (!config_.checkpoint_path.empty()) arm_snapshot();
+      loop_.run();
+    }
+    if (stalled_) park();
     finalize_report();
+    {
+      std::lock_guard lock(life_mu_);
+      finished_ = true;
+      life_cv_.notify_all();
+    }
+  }
+
+  /// The cooperative stall: stop beating and processing, wait to be reaped
+  /// and released. Parking only ever happens under supervision (the stall
+  /// trap is gated on it), and the engine keeps the supervisor alive until
+  /// every querier has joined, so the reap→release handshake is guaranteed
+  /// to arrive — this wait cannot hang the shutdown.
+  void park() {
+    std::unique_lock lock(life_mu_);
+    parked_ = true;
+    life_cv_.notify_all();
+    life_cv_.wait(lock, [this] { return released_; });
+  }
+
+  void arm_heartbeat() {
+    heartbeat_.beat();
+    TimeNs period = std::max<TimeNs>(
+        kMilli,
+        std::min(config_.supervision_interval, config_.heartbeat_timeout / 4));
+    loop_.add_timer_after(period, [this] { arm_heartbeat(); });
+  }
+
+  void arm_snapshot() {
+    publish_snapshot();
+    loop_.add_timer_after(config_.checkpoint_interval,
+                          [this] { arm_snapshot(); });
+  }
+
+  void publish_snapshot() {
+    if (config_.checkpoint_path.empty()) return;
+    QuerierSnapshot s;
+    s.valid = true;
+    s.partial.queries_sent = report_.queries_sent;
+    s.partial.responses_received = report_.responses_received;
+    s.partial.send_errors = report_.send_errors;
+    s.partial.connections_opened = report_.connections_opened;
+    s.partial.max_in_flight = report_.max_in_flight;
+    s.partial.shed_queries = report_.shed_queries;
+    s.partial.lifecycle = report_.lifecycle;
+    s.partial.latency_hist = report_.latency_hist;
+    for (const auto& [name, stream] : fault_streams_) {
+      s.partial.impairments.merge(stream->counters());
+      s.streams[name] = stream->position(clock_.real_origin());
+    }
+    auto snap_pending = [&](const PendingTable& table) {
+      table.for_each([&](const PendingQuery& pq) {
+        CheckpointPending cp;
+        cp.record = record_of(pq);
+        cp.transport = pq.transport;
+        cp.retries_used = pq.retries_used;
+        cp.payload = pq.payload;
+        s.pending.push_back(std::move(cp));
+      });
+    };
+    for (const auto& [source, us] : udp_socks_) snap_pending(us->pending);
+    for (const auto& [source, conn] : tcp_conns_) snap_pending(conn->pending);
+    for (const auto& [source, n] : sent_per_source_)
+      s.sent[source.to_string()] = n;
+    std::lock_guard lock(snap_mu_);
+    snap_ = std::move(s);
   }
 
   void on_wake() {
     uint64_t buf;
     while (::read(wake_fd_.get(), &buf, sizeof(buf)) > 0) {
     }
-    // Drain the input queue without blocking: try_pop via size probe.
+    heartbeat_.beat();
+    // Drain the input queue without blocking: try_pop via size probe (this
+    // thread is the only consumer while it runs; reap() only drains after
+    // the thread parks).
     while (true) {
       if (queue_.size() == 0) break;
       auto rec = queue_.pop();
       if (!rec.has_value()) break;
       handle_record(std::move(*rec));
     }
+    drain_adopt_inbox();
     if (queue_.closed_and_empty()) {
       input_done_ = true;
       maybe_finish();
+    }
+  }
+
+  void drain_adopt_inbox() {
+    std::vector<PendingQuery> batch;
+    std::vector<TraceRecord> records;
+    {
+      std::lock_guard lock(adopt_mu_);
+      batch.swap(adopt_inbox_);
+      records.swap(record_inbox_);
+    }
+    for (auto& pq : batch) adopt_pending(std::move(pq));
+    // A failed sibling's never-sent records re-enter the normal dispatch
+    // path: still-future timestamps keep their original schedule.
+    for (auto& rec : records) handle_record(std::move(rec));
+  }
+
+  /// Take over an in-flight query salvaged from a failed sibling or
+  /// restored from a checkpoint: resend it through this querier's own
+  /// socket for the source and track it in the matching pending table.
+  /// The outcome resolves into the query's original send record.
+  void adopt_pending(PendingQuery pq) {
+    SendRecord& sr = *pq.extern_rec;
+    pq.key = next_key_++;  // keys are per-querier; the orphan's would collide
+    ++report_.lifecycle.adopted_resends;
+    TimeNs now = mono_now_ns();
+    if (sr.send_time == 0) {
+      // Restored from a checkpoint: the original monotonic timestamps died
+      // with the process; latency restarts from the adoption resend.
+      sr.send_time = now;
+      pq.first_send = now;
+    }
+    auto fail = [&] {
+      ++report_.send_errors;
+      if (sr.outcome == QueryOutcome::Pending) {
+        sr.outcome = QueryOutcome::Errored;
+        ++report_.lifecycle.expired;
+      }
+    };
+    if (pq.transport == Transport::Udp) {
+      UdpSock* us = udp_socket_for(pq.source);
+      if (us == nullptr) {
+        fail();
+        return;
+      }
+      auto sent = us->sock->send_to(config_.server, pq.payload);
+      if (!sent.ok()) {
+        fail();
+        return;
+      }
+      pq.wire_sent = *sent;
+      if (!pq.wire_sent) ++report_.lifecycle.deferred_sends;
+      pq.deadline =
+          now + (pq.wire_sent ? config_.query_timeout : kDeferredSendDelay);
+      TimeNs deadline = pq.deadline;
+      if (us->pending.insert(std::move(pq))) ++report_.lifecycle.duplicate_ids;
+      note_in_flight(+1);
+      schedule_lifecycle(deadline);
+    } else {
+      TcpConn* conn = tcp_conn_for(pq.source);
+      if (conn == nullptr) {
+        fail();
+        return;
+      }
+      conn->last_activity = now;
+      pq.deadline = now + config_.query_timeout;
+      TimeNs deadline = pq.deadline;
+      if (!conn->connected) {
+        conn->backlog.push_back(pq.payload);
+        if (conn->pending.insert(std::move(pq)))
+          ++report_.lifecycle.duplicate_ids;
+        note_in_flight(+1);
+      } else {
+        size_t still_pending = 0;
+        auto out = net::impaired_tcp_send(conn->stream, conn->fault, now,
+                                          pq.payload, &still_pending);
+        IpAddr source = pq.source;
+        if (conn->pending.insert(std::move(pq)))
+          ++report_.lifecycle.duplicate_ids;
+        note_in_flight(+1);
+        if (out == net::TcpSendOutcome::Error ||
+            out == net::TcpSendOutcome::LinkDown) {
+          close_tcp(source, /*lost=*/true);
+          return;
+        }
+        if (still_pending > 0)
+          (void)loop_.modify_fd(conn->stream.fd(), net::Interest{true, true});
+      }
+      schedule_lifecycle(deadline);
     }
   }
 
@@ -151,7 +497,12 @@ class QueryEngine::Querier {
       if (deadline > mono_now_ns()) {
         ++pending_timers_;
         auto shared = std::make_shared<TraceRecord>(std::move(rec));
-        loop_.add_timer_at(deadline, [this, shared] {
+        // Track deferred records by token so reap() can salvage work that
+        // otherwise lives only inside timer closures.
+        uint64_t token = next_deferred_++;
+        deferred_records_.emplace(token, shared);
+        loop_.add_timer_at(deadline, [this, token, shared] {
+          deferred_records_.erase(token);
           --pending_timers_;
           send_query(*shared);
           maybe_finish();
@@ -182,6 +533,7 @@ class QueryEngine::Querier {
     sr.querier = id_;
     report_.sends.push_back(sr);
     ++report_.queries_sent;
+    ++sent_count_for(rec.src.addr);
     last_send_ = sr.send_time;
 
     PendingQuery pq;
@@ -193,6 +545,7 @@ class QueryEngine::Querier {
     pq.send_index = index;
     pq.transport = rec.transport;
     pq.first_send = sr.send_time;
+    pq.source = rec.src.addr;
     pq.payload = rec.dns_payload;
 
     if (rec.transport == Transport::Udp) {
@@ -374,7 +727,7 @@ class QueryEngine::Querier {
     }
     TimeNs now = mono_now_ns();
     for (auto& pq : orphans) {
-      SendRecord& sr = report_.sends[pq.send_index];
+      SendRecord& sr = record_of(pq);
       if (fresh != nullptr && pq.retries_used < config_.max_retries) {
         ++pq.retries_used;
         ++sr.retries;
@@ -426,6 +779,7 @@ class QueryEngine::Querier {
 
   void on_lifecycle_due() {
     lifecycle_timer_ = 0;
+    heartbeat_.beat();
     TimeNs now = mono_now_ns();
     for (auto& [source, us] : udp_socks_) {
       for (auto& pq : us->pending.take_due(now))
@@ -454,7 +808,7 @@ class QueryEngine::Querier {
   }
 
   void handle_udp_due(UdpSock& us, PendingQuery pq, TimeNs now) {
-    SendRecord& sr = report_.sends[pq.send_index];
+    SendRecord& sr = record_of(pq);
     if (pq.wire_sent) ++report_.lifecycle.timeouts;
     if (pq.retries_used >= config_.max_retries) {
       ++report_.lifecycle.expired;
@@ -490,7 +844,7 @@ class QueryEngine::Querier {
   }
 
   void handle_tcp_due(const IpAddr& source, PendingQuery pq, TimeNs now) {
-    SendRecord& sr = report_.sends[pq.send_index];
+    SendRecord& sr = record_of(pq);
     ++report_.lifecycle.timeouts;
     if (pq.retries_used >= config_.max_retries) {
       ++report_.lifecycle.expired;
@@ -539,7 +893,7 @@ class QueryEngine::Querier {
       ++report_.lifecycle.unmatched_responses;
       return;
     }
-    SendRecord& sr = report_.sends[pq->send_index];
+    SendRecord& sr = record_of(*pq);
     sr.latency = mono_now_ns() - sr.send_time;
     sr.outcome = QueryOutcome::Answered;
     ++report_.responses_received;
@@ -568,10 +922,28 @@ class QueryEngine::Querier {
   }
 
   void finalize_report() {
+    // Refuse further adoptions, then account anything still in the inbox —
+    // orphans that arrived too late to resend are errored, never lost.
+    std::vector<PendingQuery> leftover;
+    std::vector<TraceRecord> leftover_records;
+    {
+      std::lock_guard lock(adopt_mu_);
+      adopt_closed_ = true;
+      leftover.swap(adopt_inbox_);
+      leftover_records.swap(record_inbox_);
+    }
+    report_.shed_queries += leftover_records.size();
+    for (auto& pq : leftover) {
+      SendRecord& sr = record_of(pq);
+      if (sr.outcome == QueryOutcome::Pending) {
+        sr.outcome = QueryOutcome::Errored;
+        ++report_.lifecycle.expired;
+      }
+    }
     // Queries still pending at shutdown (drain_grace fired before their
     // expiry) are abandoned: counted, never silently lost.
     auto abandon = [this](PendingQuery&& pq) {
-      SendRecord& sr = report_.sends[pq.send_index];
+      SendRecord& sr = record_of(pq);
       if (sr.outcome != QueryOutcome::Pending) return;
       sr.outcome = pq.wire_sent ? QueryOutcome::TimedOut : QueryOutcome::Errored;
       ++report_.lifecycle.expired;
@@ -585,6 +957,9 @@ class QueryEngine::Querier {
     }
     for (const auto& [name, stream] : fault_streams_)
       report_.impairments.merge(stream->counters());
+    // Final (quiescent) snapshot: pending tables are empty, counters final.
+    publish_snapshot();
+    heartbeat_.mark_done();
   }
 
   uint32_t id_;
@@ -609,27 +984,65 @@ class QueryEngine::Querier {
   size_t pending_timers_ = 0;
   bool input_done_ = false;
   bool stopping_ = false;
+  bool stalled_ = false;
   net::EventLoop::TimerId drain_timer_ = 0;
   net::EventLoop::TimerId sweep_timer_ = 0;
   net::EventLoop::TimerId lifecycle_timer_ = 0;
   TimeNs lifecycle_deadline_ = 0;
   TimeNs last_send_ = 0;
+
+  // Timed records waiting on their send timers, salvageable by reap().
+  std::unordered_map<uint64_t, std::shared_ptr<TraceRecord>> deferred_records_;
+  uint64_t next_deferred_ = 1;
+
+  // Per-source cumulative sent counts (checkpoint trace positions).
+  std::unordered_map<IpAddr, uint64_t, IpAddrHash> sent_per_source_;
+
+  // Supervision state.
+  Heartbeat heartbeat_;
+  std::mutex life_mu_;
+  std::condition_variable life_cv_;
+  bool parked_ = false;
+  bool finished_ = false;
+  bool released_ = false;
+
+  // Cross-thread adoption inboxes (failed-sibling salvage, checkpoint
+  // resume): in-flight queries to resend, and never-sent trace records to
+  // dispatch through the normal schedule.
+  std::mutex adopt_mu_;
+  bool adopt_closed_ = false;
+  std::vector<PendingQuery> adopt_inbox_;
+  std::vector<TraceRecord> record_inbox_;
+
+  // Latest published checkpoint snapshot.
+  mutable std::mutex snap_mu_;
+  QuerierSnapshot snap_;
 };
 
 // ---------------------------------------------------------------------------
 // Distributor: fans records out to its queriers, same-source sticky, and
 // folds their reports (counters, histograms, send records) into one on
 // collect so the controller merges per-distributor, not per-querier.
+//
+// This is also where the self-healing happens: the supervisor's failure
+// callback reaps a dead querier, moves its sticky sources to a live
+// sibling, re-dispatches its unsent records and hands its in-flight
+// queries to the sibling for adoption; and where overload shedding
+// applies — a full querier queue either back-pressures (Block), evicts
+// the oldest record with accounting (DropOldest), or blocks with the
+// stall time surfaced (ClampRate) so the operator sees what the clock
+// distortion cost.
 // ---------------------------------------------------------------------------
 class QueryEngine::Distributor {
  public:
   Distributor(uint32_t first_querier_id, size_t querier_count,
               const EngineConfig& config, const ReplayClock& clock)
-      : queue_(config.queue_capacity) {
+      : config_(config), queue_(config.queue_capacity) {
     for (size_t i = 0; i < querier_count; ++i) {
       queriers_.push_back(std::make_unique<Querier>(
           first_querier_id + static_cast<uint32_t>(i), config, clock));
     }
+    alive_.assign(queriers_.size(), true);
     thread_ = std::thread([this] { run(); });
   }
 
@@ -637,47 +1050,273 @@ class QueryEngine::Distributor {
     if (thread_.joinable()) thread_.join();
   }
 
-  void submit(TraceRecord rec) { queue_.push(std::move(rec)); }
+  /// Controller thread: overload policy applies here too, so a saturated
+  /// distributor sheds instead of silently stretching the replay clock.
+  void submit(TraceRecord rec) {
+    PushResult pr = push_with_policy(queue_, rec, nullptr);
+    if (pr != PushResult::Ok) shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   void finish() { queue_.close(); }
 
-  EngineReport collect() {
+  void register_watches(Supervisor& supervisor, size_t dist_index) {
+    supervisor.watch("distributor-" + std::to_string(dist_index), &heartbeat_,
+                     nullptr);
+    for (size_t i = 0; i < queriers_.size(); ++i) {
+      supervisor.watch("querier-" + std::to_string(queriers_[i]->id()),
+                       &queriers_[i]->heartbeat(), [this, i] { recover(i); });
+    }
+  }
+
+  /// Supervisor thread: a querier's heartbeat went stale. Reap it, move
+  /// its sources to a sibling, re-dispatch what it never sent and have the
+  /// sibling adopt what was in flight. Every salvaged query either reaches
+  /// the sibling or is accounted (shed / expired) — none vanish.
+  void recover(size_t idx) {
+    Querier::Salvage salvage;
+    if (!queriers_[idx]->reap(salvage)) return;  // finished normally
+    size_t target = SIZE_MAX;
+    uint64_t moved = 0;
+    {
+      std::lock_guard lock(map_mu_);
+      alive_[idx] = false;
+      for (size_t t = 0; t < queriers_.size(); ++t) {
+        if (alive_[t]) {
+          target = t;
+          break;
+        }
+      }
+      if (target != SIZE_MAX) {
+        for (auto& [source, qi] : source_to_querier_) {
+          if (qi == idx) {
+            qi = target;
+            ++moved;
+          }
+        }
+      }
+    }
+    queriers_[idx]->release();
+    {
+      std::lock_guard lock(recover_mu_);
+      ++recover_report_.querier_failures;
+      recover_report_.sources_reassigned += moved;
+    }
+    if (target == SIZE_MAX) {
+      graveyard(std::move(salvage));
+      return;
+    }
+    // Never-sent records and in-flight queries both go through the adopt
+    // inboxes — the sibling's input queue is closed once routing finished,
+    // but the inboxes stay open while it drains, so a mid-drain recovery
+    // re-dispatches on the original schedule instead of shedding.
+    Querier& sibling = *queriers_[target];
+    if (!salvage.unsent.empty() && !sibling.adopt_records(salvage.unsent)) {
+      shed_.fetch_add(salvage.unsent.size(), std::memory_order_relaxed);
+      salvage.unsent.clear();
+    }
+    if (!salvage.pending.empty() && !sibling.adopt(salvage.pending))
+      graveyard(std::move(salvage));
+  }
+
+  /// Resume path (controller thread, before dispatch): route a restored
+  /// in-flight query to the querier that owns its source.
+  bool adopt_restored(PendingQuery pq) {
+    size_t idx;
+    {
+      std::lock_guard lock(map_mu_);
+      idx = querier_for_locked(pq.source);
+    }
+    if (idx == SIZE_MAX) return false;
+    std::vector<PendingQuery> one;
+    one.push_back(std::move(pq));
+    return queriers_[idx]->adopt(one);
+  }
+
+  /// Fold the queriers' latest published snapshots (and this distributor's
+  /// recovery/shedding ledger) into a checkpoint cut. Supervisor thread or
+  /// controller thread (final checkpoint, after joins).
+  void gather(CheckpointState& state) {
+    for (auto& q : queriers_) {
+      QuerierSnapshot s = q->snapshot();
+      if (!s.valid) continue;
+      state.partial.merge_from(std::move(s.partial));
+      for (auto& cp : s.pending) state.pending.push_back(std::move(cp));
+      for (auto& [name, pos] : s.streams) state.streams[name] = pos;
+      for (auto& [ip, n] : s.sent) state.sent[ip] = n;
+    }
+    {
+      std::lock_guard lock(recover_mu_);
+      EngineReport copy = recover_report_;
+      state.partial.merge_from(std::move(copy));
+    }
+    state.partial.shed_queries += shed_.load(std::memory_order_relaxed);
+    state.partial.clamp_stall_ns +=
+        clamp_stall_ns_.load(std::memory_order_relaxed);
+    state.partial.queue_hwm = std::max(state.partial.queue_hwm, high_water());
+  }
+
+  void join_all() {
     if (thread_.joinable()) thread_.join();
+    for (auto& q : queriers_) q->join();
+  }
+
+  EngineReport collect() {
+    join_all();
     EngineReport merged;
     for (auto& q : queriers_) merged.merge_from(q->take_report());
+    {
+      // Copy, not move: the final checkpoint gather still reads this.
+      std::lock_guard lock(recover_mu_);
+      EngineReport copy = recover_report_;
+      merged.merge_from(std::move(copy));
+    }
+    merged.shed_queries += shed_.load(std::memory_order_relaxed);
+    merged.clamp_stall_ns += clamp_stall_ns_.load(std::memory_order_relaxed);
+    merged.queue_hwm = std::max(merged.queue_hwm, high_water());
     return merged;
   }
 
  private:
-  void run() {
-    while (true) {
-      auto rec = queue_.pop();
-      if (!rec.has_value()) break;
-      // Sticky assignment: the same original source always reaches the same
-      // querier, so that querier's per-source socket emulates the source.
-      auto it = source_to_querier_.find(rec->src.addr);
-      size_t idx;
-      if (it != source_to_querier_.end()) {
-        idx = it->second;
-      } else {
-        idx = next_++ % queriers_.size();
-        source_to_querier_.emplace(rec->src.addr, idx);
-      }
-      queriers_[idx]->submit(std::move(*rec));
-    }
-    for (auto& q : queriers_) q->finish();
+  uint64_t high_water() const {
+    uint64_t hwm = queue_.high_water();
+    for (const auto& q : queriers_)
+      hwm = std::max<uint64_t>(hwm, q->queue_high_water());
+    return hwm;
   }
 
+  /// Push under the configured overload policy. Block and ClampRate loop
+  /// with a bounded grace so the producer keeps beating (and re-checks for
+  /// closure — recovery closes a dead querier's queue to unblock us).
+  PushResult push_with_policy(BoundedQueue<TraceRecord>& q, TraceRecord& rec,
+                              Heartbeat* hb) {
+    switch (config_.overload) {
+      case OverloadPolicy::DropOldest: {
+        PushResult pr = q.push_for(rec, config_.shed_grace);
+        if (pr != PushResult::Full) return pr;
+        std::optional<TraceRecord> evicted;
+        pr = q.evict_push(rec, evicted);
+        if (pr == PushResult::Ok && evicted.has_value())
+          shed_.fetch_add(1, std::memory_order_relaxed);
+        return pr;
+      }
+      case OverloadPolicy::ClampRate: {
+        PushResult pr = q.push_for(rec, config_.shed_grace);
+        if (pr != PushResult::Full) return pr;
+        TimeNs t0 = mono_now_ns();
+        while ((pr = q.push_for(rec, kPushBeatGrace)) == PushResult::Full) {
+          if (hb != nullptr) hb->beat();
+        }
+        clamp_stall_ns_.fetch_add(mono_now_ns() - t0,
+                                  std::memory_order_relaxed);
+        return pr;
+      }
+      case OverloadPolicy::Block:
+      default: {
+        PushResult pr;
+        while ((pr = q.push_for(rec, kPushBeatGrace)) == PushResult::Full) {
+          if (hb != nullptr) hb->beat();
+        }
+        return pr;
+      }
+    }
+  }
+
+  /// Sticky querier for a source, skipping dead queriers; SIZE_MAX when
+  /// none is left alive. Caller holds map_mu_.
+  size_t querier_for_locked(const IpAddr& source) {
+    auto it = source_to_querier_.find(source);
+    if (it != source_to_querier_.end() && alive_[it->second]) return it->second;
+    for (size_t tries = 0; tries < queriers_.size(); ++tries) {
+      size_t idx = next_++ % queriers_.size();
+      if (alive_[idx]) {
+        source_to_querier_[source] = idx;
+        return idx;
+      }
+    }
+    return SIZE_MAX;
+  }
+
+  /// Nobody can take the salvage: account every query as lost, loudly.
+  void graveyard(Querier::Salvage&& salvage) {
+    std::lock_guard lock(recover_mu_);
+    recover_report_.shed_queries += salvage.unsent.size();
+    for (auto& pq : salvage.pending) {
+      if (pq.extern_rec != nullptr &&
+          pq.extern_rec->outcome == QueryOutcome::Pending) {
+        pq.extern_rec->outcome = QueryOutcome::Errored;
+        ++recover_report_.lifecycle.expired;
+      }
+    }
+  }
+
+  void run() {
+    while (true) {
+      // Bounded pop so the heartbeat advances even on an idle queue.
+      auto rec = queue_.pop_for(kPushBeatGrace);
+      heartbeat_.beat();
+      if (!rec.has_value()) {
+        if (queue_.closed_and_empty()) break;
+        continue;
+      }
+      route(std::move(*rec));
+    }
+    for (auto& q : queriers_) q->finish();
+    heartbeat_.mark_done();
+  }
+
+  void route(TraceRecord rec) {
+    while (true) {
+      size_t idx;
+      {
+        std::lock_guard lock(map_mu_);
+        idx = querier_for_locked(rec.src.addr);
+      }
+      if (idx == SIZE_MAX) {
+        // Every querier is dead: shed with accounting, never hang.
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      Querier& q = *queriers_[idx];
+      PushResult pr = push_with_policy(q.queue(), rec, &heartbeat_);
+      if (pr == PushResult::Ok) {
+        q.wake();
+        return;
+      }
+      // Closed: the querier died under us (recovery closed its queue).
+      // The record survived the rejected push — re-route it.
+      std::lock_guard lock(map_mu_);
+      alive_[idx] = false;
+      source_to_querier_.erase(rec.src.addr);
+    }
+  }
+
+  const EngineConfig& config_;
   BoundedQueue<TraceRecord> queue_;
   std::vector<std::unique_ptr<Querier>> queriers_;
+  Heartbeat heartbeat_;
+
+  // Sticky source→querier map plus liveness, shared with the supervisor's
+  // recovery callback (which remaps a dead querier's sources).
+  std::mutex map_mu_;
   std::unordered_map<IpAddr, size_t, IpAddrHash> source_to_querier_;
+  std::vector<bool> alive_;
   size_t next_ = 0;
+
+  // Recovery ledger: failure counts and grave-yarded query accounting,
+  // written by the supervisor thread, merged after all joins.
+  std::mutex recover_mu_;
+  EngineReport recover_report_;
+
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> clamp_stall_ns_{0};
+
   std::thread thread_;
 };
 
 // ---------------------------------------------------------------------------
 // QueryEngine: the controller (Reader + Postman).
 // ---------------------------------------------------------------------------
-QueryEngine::QueryEngine(EngineConfig config) : config_(config) {}
+QueryEngine::QueryEngine(EngineConfig config) : config_(std::move(config)) {}
 QueryEngine::~QueryEngine() = default;
 
 Result<EngineReport> QueryEngine::replay(const std::vector<TraceRecord>& trace,
@@ -688,12 +1327,59 @@ Result<EngineReport> QueryEngine::replay(const std::vector<TraceRecord>& trace,
   if (shared_clock != nullptr && !shared_clock->started())
     return Err("shared clock not started");
 
+  const CheckpointState* resume = config_.resume;
+  const bool checkpointing = !config_.checkpoint_path.empty();
+  uint64_t fingerprint = 0;
+  uint64_t total_queries = 0;
+  if (checkpointing || resume != nullptr) {
+    fingerprint = trace_fingerprint(trace);
+    for (const auto& rec : trace)
+      if (rec.direction == trace::Direction::Query) ++total_queries;
+  }
+  if (resume != nullptr && resume->trace_hash != fingerprint)
+    return Err("checkpoint was taken against a different trace");
+
+  // Per-source skip counts: how many query records the checkpoint already
+  // put on the wire (mutator-dropped records never counted, so the skip
+  // applies to mutator-surviving records only).
+  std::unordered_map<IpAddr, uint64_t, IpAddrHash> skip;
+  if (resume != nullptr) {
+    for (const auto& [ip, n] : resume->sent) {
+      auto addr = IpAddr::parse(ip);
+      if (!addr.ok()) return Err("checkpoint: bad source address " + ip);
+      skip[*addr] = n;
+    }
+  }
+
   // Time synchronization broadcast (§2.6): latch t̄₁ from the first query
   // and t₁ slightly in the future so worker startup cost doesn't make the
-  // first queries late. A shared clock (multi-controller replay) overrides.
+  // first queries late. On resume, re-anchor at the first record the
+  // checkpoint hasn't sent, so the remaining schedule plays at original
+  // pace instead of sprinting through the already-replayed prefix. A
+  // shared clock (multi-controller replay) overrides.
+  TimeNs anchor_ts = trace.front().timestamp;
+  if (resume != nullptr) {
+    auto remaining = skip;
+    for (const auto& rec : trace) {
+      if (rec.direction != trace::Direction::Query) continue;
+      auto it = remaining.find(rec.src.addr);
+      if (it != remaining.end() && it->second > 0) {
+        --it->second;
+        continue;
+      }
+      anchor_ts = rec.timestamp;
+      break;
+    }
+  }
   ReplayClock own_clock;
-  own_clock.start(trace.front().timestamp, mono_now_ns() + kStartupLead);
+  own_clock.start(anchor_ts, mono_now_ns() + kStartupLead);
   const ReplayClock& clock = shared_clock != nullptr ? *shared_clock : own_clock;
+
+  // Stable storage for restored in-flight records: adopting queriers write
+  // outcomes through pointers into this vector, so it must never grow
+  // after the pointers are handed out.
+  std::vector<SendRecord> adopted_records;
+  adopted_records.reserve(resume != nullptr ? resume->pending.size() : 0);
 
   std::vector<std::unique_ptr<Distributor>> distributors;
   for (size_t i = 0; i < config_.distributors; ++i) {
@@ -702,35 +1388,144 @@ Result<EngineReport> QueryEngine::replay(const std::vector<TraceRecord>& trace,
         config_.queriers_per_distributor, config_, clock));
   }
 
+  auto distributor_for = [&](const IpAddr& source) {
+    auto it = source_to_distributor_.find(source);
+    if (it != source_to_distributor_.end()) return it->second;
+    size_t idx = next_distributor_++ % distributors.size();
+    source_to_distributor_.emplace(source, idx);
+    return idx;
+  };
+
+  std::atomic<uint64_t> mutator_dropped{0};
+
+  // Supervision and the checkpoint ticker share one background thread.
+  Supervisor supervisor(Supervisor::Config{
+      config_.supervision_interval, config_.heartbeat_timeout,
+      config_.checkpoint_interval});
+  auto gather_state = [&] {
+    CheckpointState st;
+    st.trace_hash = fingerprint;
+    st.trace_queries = total_queries;
+    if (resume != nullptr) {
+      // Cumulative across restores: the resumed base, overwritten by
+      // whatever this incarnation's queriers have touched since.
+      st.partial = resume->partial;
+      st.streams = resume->streams;
+      st.sent = resume->sent;
+    }
+    st.partial.mutator_dropped +=
+        mutator_dropped.load(std::memory_order_relaxed);
+    for (auto& d : distributors) d->gather(st);
+    return st;
+  };
+  if (config_.supervise) {
+    for (size_t i = 0; i < distributors.size(); ++i)
+      distributors[i]->register_watches(supervisor, i);
+  }
+  if (checkpointing) {
+    supervisor.set_checkpoint([&] {
+      auto saved = save_checkpoint(config_.checkpoint_path, gather_state());
+      if (!saved.ok())
+        LDP_WARN("replay", "checkpoint failed: " << saved.error().message);
+    });
+  }
+  if (config_.supervise || checkpointing) supervisor.start();
+
+  // Restored in-flight queries are adopted before dispatch, so their
+  // sources' sticky assignment is decided by the query that was first on
+  // the wire.
+  uint64_t restore_failures = 0;
+  if (resume != nullptr) {
+    for (const auto& cp : resume->pending) {
+      adopted_records.push_back(cp.record);
+      SendRecord& rec = adopted_records.back();
+      rec.send_time = 0;  // sentinel: re-stamped when the adopter resends
+      rec.latency = -1;
+      rec.outcome = QueryOutcome::Pending;
+      PendingQuery pq;
+      pq.dns_id = cp.payload.size() >= 2
+                      ? static_cast<uint16_t>(cp.payload[0] << 8 |
+                                              cp.payload[1])
+                      : 0;
+      pq.retries_used = cp.retries_used;
+      pq.transport = cp.transport;
+      pq.source = cp.record.source;
+      pq.extern_rec = &rec;
+      pq.payload = cp.payload;
+      size_t idx = distributor_for(pq.source);
+      if (!distributors[idx]->adopt_restored(std::move(pq))) {
+        rec.outcome = QueryOutcome::Errored;
+        ++restore_failures;
+      }
+    }
+  }
+
   // The Postman: dispatch records, same-source sticky across distributors,
-  // mutating live when configured.
-  uint64_t mutator_dropped = 0;
+  // mutating live when configured, skipping what the checkpoint already
+  // replayed.
   for (const auto& rec : trace) {
     if (rec.direction != trace::Direction::Query) continue;
+    auto sk = skip.find(rec.src.addr);
+    bool skipping = sk != skip.end() && sk->second > 0;
     TraceRecord record = rec;
     if (config_.live_mutator != nullptr) {
       auto verdict = config_.live_mutator->apply(record);
       if (!verdict.ok() || *verdict == mutate::Verdict::Drop) {
-        ++mutator_dropped;
+        // Pre-cut drops are already inside the checkpoint's counter.
+        if (!skipping) mutator_dropped.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
     }
-    auto it = source_to_distributor_.find(record.src.addr);
-    size_t idx;
-    if (it != source_to_distributor_.end()) {
-      idx = it->second;
-    } else {
-      idx = next_distributor_++ % distributors.size();
-      source_to_distributor_.emplace(record.src.addr, idx);
+    if (skipping) {
+      --sk->second;
+      continue;
     }
+    size_t idx = distributor_for(record.src.addr);
     distributors[idx]->submit(std::move(record));
   }
   for (auto& d : distributors) d->finish();
 
+  // Shutdown order matters. The supervisor stays alive across the joins:
+  // a querier parked by a stall is only ever released through the
+  // supervisor's reap→recover→release handshake, so stopping it first
+  // would deadlock the join (parking is gated on supervision, so with it
+  // off nothing ever parks and the joins are trivially safe). And every
+  // querier must be joined BEFORE any report is merged — sibling adopters
+  // write through extern pointers into each other's send vectors until
+  // they exit, and merging moves those vectors.
+  for (auto& d : distributors) d->join_all();
+  supervisor.stop();
+
   EngineReport merged;
-  merged.mutator_dropped = mutator_dropped;
+  merged.mutator_dropped = mutator_dropped.load(std::memory_order_relaxed);
   merged.replay_start = clock.real_origin();
   for (auto& d : distributors) merged.merge_from(d->collect());
+
+  // Restored records that never resolved (adopter shut down first, or the
+  // adoption itself failed) expire with accounting.
+  for (auto& rec : adopted_records) {
+    if (rec.outcome == QueryOutcome::Pending) {
+      rec.outcome = QueryOutcome::Errored;
+      ++merged.lifecycle.expired;
+    }
+  }
+  merged.lifecycle.expired += restore_failures;
+  merged.sends.insert(merged.sends.end(), adopted_records.begin(),
+                      adopted_records.end());
+  if (resume != nullptr) {
+    EngineReport base = resume->partial;
+    merged.merge_from(std::move(base));
+  }
+
+  // Final quiescent checkpoint: a completed replay's file resumes into a
+  // no-op (and the kill-and-resume smoke path reads its counters).
+  if (checkpointing) {
+    auto saved = save_checkpoint(config_.checkpoint_path, gather_state());
+    if (!saved.ok())
+      LDP_WARN("replay", "final checkpoint failed: " << saved.error().message);
+  }
+
+  distributors.clear();
   source_to_distributor_.clear();
   next_distributor_ = 0;
   return merged;

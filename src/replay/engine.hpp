@@ -27,6 +27,18 @@
 
 namespace ldp::replay {
 
+struct CheckpointState;  // checkpoint.hpp (engine.cpp includes it)
+
+/// What a distributor does when a querier queue stays full past the grace
+/// period (a stalled or overloaded consumer). Block preserves every query
+/// at the cost of stalling the controller clock; the shedding policies
+/// keep the clock honest and account for what they cost.
+enum class OverloadPolicy : uint8_t {
+  Block = 0,      ///< wait forever (back-pressure; recovery unblocks via close)
+  DropOldest = 1, ///< evict the oldest queued record, counted as shed
+  ClampRate = 2,  ///< keep blocking but account the stall time
+};
+
 struct EngineConfig {
   Endpoint server;            ///< where replayed queries go
   size_t distributors = 1;
@@ -66,6 +78,28 @@ struct EngineConfig {
   /// how sources are spread over queriers or controllers. nullopt = clean
   /// link.
   std::optional<fault::FaultSpec> fault;
+  /// Self-healing layer: a supervisor thread watches querier/distributor
+  /// heartbeats and recovers a stalled querier (reassigning its sources to
+  /// a sibling and resending its in-flight queries). Disabling supervision
+  /// also disables querier_stall fault injection (nothing would recover
+  /// the stalled thread).
+  bool supervise = true;
+  TimeNs heartbeat_timeout = 5 * kSecond;
+  TimeNs supervision_interval = 500 * kMilli;
+  /// Overload shedding for the controller→distributor→querier queues:
+  /// how long a push may wait before the policy kicks in.
+  OverloadPolicy overload = OverloadPolicy::Block;
+  TimeNs shed_grace = 5 * kMilli;
+  /// Deterministic checkpoint/resume: when `checkpoint_path` is set, the
+  /// supervisor periodically snapshots per-source trace positions, fault
+  /// stream draw positions and in-flight queries to the file (atomically,
+  /// tmp+rename), and a final quiescent snapshot is written when the
+  /// replay completes. `resume` replays only what the checkpoint hasn't
+  /// sent and folds the checkpoint's counters into the final report; it
+  /// must outlive the replay() call.
+  std::string checkpoint_path;
+  TimeNs checkpoint_interval = kSecond;
+  const CheckpointState* resume = nullptr;
 };
 
 /// One sent query, for the Figures 6-8 fidelity analysis.
@@ -89,6 +123,12 @@ struct EngineReport {
   /// Peak number of simultaneously in-flight queries in any one querier;
   /// bounded by the expiry window, so long replays with loss stay flat.
   uint64_t max_in_flight = 0;
+  // Self-healing layer accounting.
+  uint64_t querier_failures = 0;    ///< queriers declared dead and recovered
+  uint64_t sources_reassigned = 0;  ///< sticky sources moved to a sibling
+  uint64_t shed_queries = 0;        ///< records dropped by overload shedding
+  uint64_t queue_hwm = 0;           ///< deepest any worker queue ever got
+  uint64_t clamp_stall_ns = 0;      ///< time ClampRate spent blocked on full queues
   metrics::LifecycleCounters lifecycle;  ///< timeout/retry/expiry accounting
   fault::ImpairmentCounters impairments; ///< what the fault layer did to us
   metrics::Histogram latency_hist;       ///< answered-query latency (ns)

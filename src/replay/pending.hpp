@@ -15,9 +15,12 @@
 #include <vector>
 
 #include "util/clock.hpp"
+#include "util/ip.hpp"
 #include "util/transport.hpp"
 
 namespace ldp::replay {
+
+struct SendRecord;  // engine.hpp; pending entries may resolve foreign records
 
 /// Terminal (and initial) states of one replayed query.
 enum class QueryOutcome : uint8_t {
@@ -49,6 +52,11 @@ struct PendingQuery {
   bool wire_sent = true;      ///< false while stuck behind a full kernel buffer
   TimeNs first_send = 0;      ///< original send attempt (latency baseline)
   TimeNs deadline = 0;        ///< next timeout
+  IpAddr source;              ///< original trace source (socket/stream routing)
+  /// Set when this query's send record lives in another report: a failed
+  /// querier's (supervision adopted it) or a resumed checkpoint's partial.
+  /// When non-null it overrides send_index for outcome resolution.
+  SendRecord* extern_rec = nullptr;
   std::vector<uint8_t> payload;
 };
 
@@ -75,6 +83,13 @@ class PendingTable {
 
   /// Remove and return everything (connection close / engine shutdown).
   std::vector<PendingQuery> drain();
+
+  /// Read-only visit of every live entry, in no particular order
+  /// (checkpoint snapshots copy in-flight state through this).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, pq] : entries_) fn(pq);
+  }
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }

@@ -34,9 +34,21 @@ class Histogram {
   /// "p50 1.2ms  p90 3.4ms  p99 9.1ms (n=...)" for tool/bench output.
   std::string summary_ms() const;
 
- private:
-  // bit_width(uint64) ranges 0..64, so 65 buckets cover every sample.
+  // Raw-state access for checkpoint serialization: the log2 buckets plus the
+  // exact running sum round-trip a histogram losslessly across a resume.
   static constexpr size_t kBuckets = 65;
+  uint64_t bucket_value(size_t b) const { return b < kBuckets ? buckets_[b] : 0; }
+  double sum() const { return sum_; }
+  void restore_state(const std::array<uint64_t, kBuckets>& buckets,
+                     uint64_t count, int64_t min, int64_t max, double sum) {
+    buckets_ = buckets;
+    count_ = count;
+    min_ = min;
+    max_ = max;
+    sum_ = sum;
+  }
+
+ private:
   static size_t bucket_of(int64_t v);
 
   std::array<uint64_t, kBuckets> buckets_{};
@@ -62,6 +74,8 @@ struct LifecycleCounters {
   uint64_t deferred_sends = 0;       ///< sends delayed by a full kernel buffer
   uint64_t unmatched_responses = 0;  ///< responses with no live pending entry
   uint64_t socket_errors = 0;        ///< recv/read errors surfaced by the net layer
+  uint64_t adopted_resends = 0;      ///< in-flight queries resent after a querier
+                                     ///< failure or a checkpoint resume
 
   void merge(const LifecycleCounters& o) {
     timeouts += o.timeouts;
@@ -73,6 +87,7 @@ struct LifecycleCounters {
     deferred_sends += o.deferred_sends;
     unmatched_responses += o.unmatched_responses;
     socket_errors += o.socket_errors;
+    adopted_resends += o.adopted_resends;
   }
 };
 

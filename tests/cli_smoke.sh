@@ -12,7 +12,8 @@ SERVER=$4
 REPLAY=$5
 
 WORK=$(mktemp -d)
-trap 'kill $SERVER_PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+trap 'kill $SERVER_PID $REPLAY_PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+REPLAY_PID=""
 cd "$WORK"
 
 echo "== synth: generate a small workload in every format"
@@ -59,6 +60,25 @@ echo "== replay with live what-if mutation (--transport tcp --dnssec)"
 OUT2=$($REPLAY --fast --transport tcp --dnssec --prefix smoke trace.ldpb 127.0.0.1 $PORT)
 echo "$OUT2"
 echo "$OUT2" | grep -q "connections opened:" || exit 1
+
+echo "== checkpoint / kill -9 / resume round trip"
+# Paced replay (2s trace) with frequent snapshots; kill it mid-run, then
+# resume from the checkpoint. The merged totals must account for every
+# query in the trace — nothing lost across the crash.
+CKPT=ckpt.state
+$REPLAY --checkpoint $CKPT --checkpoint-interval 0.2 trace.ldpb 127.0.0.1 $PORT \
+  > resume_first.log 2>&1 &
+REPLAY_PID=$!
+sleep 1
+kill -9 $REPLAY_PID 2>/dev/null || true
+wait $REPLAY_PID 2>/dev/null || true
+REPLAY_PID=""
+[ -f $CKPT ] || { echo "no checkpoint written before the kill"; exit 1; }
+# 2>&1: the "resuming from" banner goes to stderr.
+OUT3=$($REPLAY --checkpoint $CKPT --resume trace.ldpb 127.0.0.1 $PORT 2>&1)
+echo "$OUT3"
+echo "$OUT3" | grep -q "resuming from" || { echo "resume did not load the checkpoint"; exit 1; }
+echo "$OUT3" | grep -q "queries sent:       400" || { echo "resumed run lost queries"; exit 1; }
 
 kill $SERVER_PID
 wait $SERVER_PID 2>/dev/null || true

@@ -305,5 +305,147 @@ TEST(ImpairmentCountersT, MergeAndEquality) {
   EXPECT_FALSE(sum.summary().empty());
 }
 
+// --- strict parser error paths ----------------------------------------------
+
+// A typo'd knob must fail loudly, not replay with a half-parsed value.
+TEST(FaultSpecT, RejectsTrailingGarbageAndMalformedNumbers) {
+  EXPECT_FALSE(parse_fault_spec("loss:0.5x").ok());     // trailing garbage
+  EXPECT_FALSE(parse_fault_spec("loss:1.2.3").ok());    // second dot
+  EXPECT_FALSE(parse_fault_spec("loss:+0.5").ok());     // explicit sign
+  EXPECT_FALSE(parse_fault_spec("loss:.5").ok());       // no leading digit
+  EXPECT_FALSE(parse_fault_spec("loss:0.5e1").ok());    // would be > 1 anyway
+  EXPECT_FALSE(parse_fault_spec("dup:2").ok());         // probability > 1
+  EXPECT_FALSE(parse_fault_spec("corrupt:nan").ok());
+  EXPECT_FALSE(parse_fault_spec("delay:ms").ok());      // unit, no number
+  EXPECT_FALSE(parse_fault_spec("seed:12abc").ok());
+  EXPECT_FALSE(parse_fault_spec("loss:0.1,bogus:1").ok());  // later bad key
+}
+
+TEST(FaultSpecT, ErrorsNameTheOffendingInput) {
+  auto unknown = parse_fault_spec("losss:0.1");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().message.find("losss"), std::string::npos);
+  auto range = parse_fault_spec("reorder:1.5");
+  ASSERT_FALSE(range.ok());
+  EXPECT_NE(range.error().message.find("[0,1]"), std::string::npos);
+  auto garbage = parse_fault_spec("loss:0.5x");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.error().message.find("0.5x"), std::string::npos);
+}
+
+// --- querier_stall (supervision fault injection) ----------------------------
+
+TEST(FaultSpecT, ParsesQuerierStall) {
+  auto spec = parse_fault_spec("querier_stall:3@250ms");
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  EXPECT_EQ(spec->stall_querier, 3);
+  EXPECT_EQ(spec->stall_after, 250 * kMilli);
+  // Not a link impairment: it alone doesn't enable packet faults.
+  EXPECT_FALSE(spec->enabled());
+
+  auto at_start = parse_fault_spec("querier_stall:0");
+  ASSERT_TRUE(at_start.ok());
+  EXPECT_EQ(at_start->stall_querier, 0);
+  EXPECT_EQ(at_start->stall_after, 0);
+
+  EXPECT_FALSE(parse_fault_spec("querier_stall:-1").ok());
+  EXPECT_FALSE(parse_fault_spec("querier_stall:abc").ok());
+  EXPECT_FALSE(parse_fault_spec("querier_stall:1@xyz").ok());
+}
+
+TEST(FaultSpecT, QuerierStallRoundTripsThroughToString) {
+  auto spec = parse_fault_spec("loss:0.1,querier_stall:2@1s,seed:7");
+  ASSERT_TRUE(spec.ok());
+  auto again = parse_fault_spec(spec->to_string());
+  ASSERT_TRUE(again.ok()) << again.error().message;
+  EXPECT_EQ(again->stall_querier, 2);
+  EXPECT_EQ(again->stall_after, kSecond);
+  EXPECT_DOUBLE_EQ(again->drop, 0.1);
+  EXPECT_EQ(again->seed, 7u);
+}
+
+// --- checkpoint/resume draw positions ---------------------------------------
+
+// The resume contract: a fresh stream restored to a checkpointed position
+// must produce the same verdicts (and corruption bytes) the original stream
+// would have produced had it never stopped.
+TEST(FaultStreamT, RestoreContinuesTheDrawSequence) {
+  FaultSpec spec = lossy_spec();
+  constexpr TimeNs kOrigin = 1000 * kSecond;
+
+  FaultStream uninterrupted(lossy_spec(), "udp:10.0.0.1");
+  std::vector<Verdict> expect;
+  std::vector<uint8_t> pay_a(32, 0x5a);
+  for (int i = 0; i < 400; ++i) {
+    Verdict v = uninterrupted.next(kOrigin + i * kMilli);
+    if (v.action == Action::Corrupt) uninterrupted.corrupt(pay_a);
+    expect.push_back(v);
+  }
+
+  // Same run, split at packet 150 through a position snapshot.
+  FaultStream first(spec, "udp:10.0.0.1");
+  std::vector<uint8_t> pay_b(32, 0x5a);
+  for (int i = 0; i < 150; ++i) {
+    Verdict v = first.next(kOrigin + i * kMilli);
+    EXPECT_EQ(v.action, expect[i].action);
+    if (v.action == Action::Corrupt) first.corrupt(pay_b);
+  }
+  FaultStream::Position pos = first.position(kOrigin);
+  EXPECT_EQ(pos.packets, 150u);
+
+  FaultStream second(spec, "udp:10.0.0.1");
+  second.restore(pos, kOrigin);
+  for (int i = 150; i < 400; ++i) {
+    Verdict v = second.next(kOrigin + i * kMilli);
+    EXPECT_EQ(v.action, expect[i].action) << "diverged at packet " << i;
+    EXPECT_EQ(v.extra_delay, expect[i].extra_delay);
+    if (v.action == Action::Corrupt) second.corrupt(pay_b);
+  }
+  EXPECT_EQ(pay_a, pay_b);  // corruption engine resumed in lock-step too
+  // Positions are cumulative across the restore.
+  EXPECT_EQ(second.position(kOrigin).packets, 400u);
+  EXPECT_EQ(second.position(kOrigin), uninterrupted.position(kOrigin));
+}
+
+// Window faults (blackhole/flap) must re-anchor on a fresh monotonic
+// timeline: the restored stream sees the same trace-relative windows even
+// though its process booted at a different absolute time.
+TEST(FaultStreamT, RestoreReanchorsWindowsOnANewTimeline) {
+  FaultSpec spec;
+  spec.blackhole_start = 100 * kMilli;
+  spec.blackhole_end = 200 * kMilli;
+  spec.seed = 9;
+
+  FaultStream original(spec, "udp:10.0.0.9");
+  constexpr TimeNs kOrigin1 = 50 * kSecond;
+  // Latch the window origin, stay before the blackhole.
+  EXPECT_EQ(original.next(kOrigin1 + 10 * kMilli).action, Action::Deliver);
+  FaultStream::Position pos = original.position(kOrigin1);
+  EXPECT_NE(pos.origin_offset, FaultStream::kNoOrigin);
+
+  // "New process": different origin, same trace-relative schedule.
+  constexpr TimeNs kOrigin2 = 9000 * kSecond;
+  FaultStream resumed(spec, "udp:10.0.0.9");
+  resumed.restore(pos, kOrigin2);
+  EXPECT_EQ(resumed.next(kOrigin2 + 150 * kMilli).action, Action::Drop);
+  EXPECT_EQ(resumed.counters().blackholed, 1u);
+  EXPECT_EQ(resumed.next(kOrigin2 + 250 * kMilli).action, Action::Deliver);
+}
+
+TEST(FaultStreamT, UnlatchedPositionRestoresAsUnlatched) {
+  FaultSpec spec = lossy_spec();
+  FaultStream never_ran(spec, "udp:10.0.0.3");
+  FaultStream::Position pos = never_ran.position(123 * kSecond);
+  EXPECT_EQ(pos.packets, 0u);
+  EXPECT_EQ(pos.origin_offset, FaultStream::kNoOrigin);
+
+  FaultStream fresh(spec, "udp:10.0.0.3");
+  fresh.restore(pos, 456 * kSecond);
+  FaultStream plain(spec, "udp:10.0.0.3");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fresh.next(i * kMilli).action, plain.next(i * kMilli).action);
+  }
+}
+
 }  // namespace
 }  // namespace ldp::fault

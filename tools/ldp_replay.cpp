@@ -11,6 +11,14 @@
 //   --scale F              multiply inter-arrival gaps by F (0.5 = 2x rate)
 //   --fault SPEC           impair the query path, e.g.
 //                          loss:0.05,reorder:0.01,seed:42 (see ldp::fault)
+//   --checkpoint FILE      periodically snapshot replay state to FILE
+//   --checkpoint-interval S  seconds between snapshots (default 1)
+//   --resume               continue from the --checkpoint file instead of
+//                          starting over (counters carry across the kill)
+//   --overload block|drop-oldest|clamp  full-queue policy (default block)
+//   --shed-grace MS        how long a push waits before shedding (default 5)
+//   --no-supervise         disable the heartbeat supervisor
+//   --heartbeat-timeout S  declare a querier dead after S stale seconds
 //
 // Prints an EngineReport summary plus latency and timing-error quantiles.
 #include <cstdio>
@@ -19,6 +27,7 @@
 #include <sstream>
 
 #include "mutate/mutator.hpp"
+#include "replay/checkpoint.hpp"
 #include "replay/engine.hpp"
 #include "trace/binary.hpp"
 #include "trace/pcap.hpp"
@@ -50,6 +59,9 @@ void usage(const char* argv0) {
                "usage: %s [--fast] [--distributors N] [--queriers N]\n"
                "          [--transport udp|tcp|tls] [--dnssec] [--prefix LABEL]\n"
                "          [--scale F] [--fault SPEC]\n"
+               "          [--checkpoint FILE [--checkpoint-interval S] [--resume]]\n"
+               "          [--overload block|drop-oldest|clamp] [--shed-grace MS]\n"
+               "          [--no-supervise] [--heartbeat-timeout S]\n"
                "          <trace.{pcap,txt,ldpb}> <server-ip> <port>\n",
                argv0);
 }
@@ -60,6 +72,7 @@ int main(int argc, char** argv) {
   replay::EngineConfig cfg;
   mutate::MutatorPipeline mutator;
   bool has_mutations = false;
+  bool resume = false;
 
   int arg = 1;
   for (; arg < argc && std::strncmp(argv[arg], "--", 2) == 0; ++arg) {
@@ -101,6 +114,33 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.fault = *spec;
+    } else if (opt == "--checkpoint") {
+      cfg.checkpoint_path = need_value();
+    } else if (opt == "--checkpoint-interval") {
+      cfg.checkpoint_interval =
+          static_cast<TimeNs>(std::strtod(need_value(), nullptr) * kSecond);
+    } else if (opt == "--resume") {
+      resume = true;
+    } else if (opt == "--overload") {
+      std::string policy = need_value();
+      if (policy == "block") {
+        cfg.overload = replay::OverloadPolicy::Block;
+      } else if (policy == "drop-oldest") {
+        cfg.overload = replay::OverloadPolicy::DropOldest;
+      } else if (policy == "clamp") {
+        cfg.overload = replay::OverloadPolicy::ClampRate;
+      } else {
+        std::fprintf(stderr, "unknown --overload policy: %s\n", policy.c_str());
+        return 2;
+      }
+    } else if (opt == "--shed-grace") {
+      cfg.shed_grace =
+          static_cast<TimeNs>(std::strtod(need_value(), nullptr) * kMilli);
+    } else if (opt == "--no-supervise") {
+      cfg.supervise = false;
+    } else if (opt == "--heartbeat-timeout") {
+      cfg.heartbeat_timeout =
+          static_cast<TimeNs>(std::strtod(need_value(), nullptr) * kSecond);
     } else {
       usage(argv[0]);
       return 2;
@@ -129,6 +169,27 @@ int main(int argc, char** argv) {
     *records = mutator.apply_all(std::move(*records), &malformed);
     if (malformed > 0)
       std::fprintf(stderr, "note: dropped %zu undecodable records\n", malformed);
+  }
+  replay::CheckpointState resume_state;
+  if (resume) {
+    if (cfg.checkpoint_path.empty()) {
+      std::fprintf(stderr, "--resume needs --checkpoint FILE\n");
+      return 2;
+    }
+    auto loaded = replay::load_checkpoint(cfg.checkpoint_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n", loaded.error().message.c_str());
+      return 1;
+    }
+    resume_state = std::move(*loaded);
+    cfg.resume = &resume_state;
+    std::fprintf(stderr,
+                 "resuming from %s: %llu of %llu queries already sent, "
+                 "%zu in flight\n",
+                 cfg.checkpoint_path.c_str(),
+                 static_cast<unsigned long long>(resume_state.partial.queries_sent),
+                 static_cast<unsigned long long>(resume_state.trace_queries),
+                 resume_state.pending.size());
   }
   std::fprintf(stderr, "replaying %zu queries to %s (%s mode)...\n", records->size(),
                cfg.server.to_string().c_str(), cfg.timed ? "timed" : "fast");
@@ -173,6 +234,20 @@ int main(int argc, char** argv) {
   }
   if (cfg.fault.has_value())
     std::printf("impairments:        %s\n", report->impairments.summary().c_str());
+  if (report->querier_failures + report->sources_reassigned +
+          report->shed_queries + report->clamp_stall_ns + lc.adopted_resends >
+      0) {
+    std::printf(
+        "self-healing:       querier-failures %llu  sources-reassigned %llu"
+        "  adopted-resends %llu  shed %llu  clamp-stall %.3f s\n",
+        static_cast<unsigned long long>(report->querier_failures),
+        static_cast<unsigned long long>(report->sources_reassigned),
+        static_cast<unsigned long long>(lc.adopted_resends),
+        static_cast<unsigned long long>(report->shed_queries),
+        ns_to_sec(static_cast<TimeNs>(report->clamp_stall_ns)));
+  }
+  std::printf("queue high water:   %llu\n",
+              static_cast<unsigned long long>(report->queue_hwm));
   std::printf("max in flight:      %llu\n",
               static_cast<unsigned long long>(report->max_in_flight));
   std::printf("duration:           %.3f s (%.0f q/s)\n", report->duration_s(),
