@@ -72,16 +72,22 @@ Result<Name> Name::from_wire(ByteReader& rd) {
   Name name;
   size_t resume_pos = 0;  // position after the first pointer, 0 = none yet
   int hops = 0;
+  size_t expanded = 0;  // decompressed octets, counted before append
 
   while (true) {
     uint8_t len = LDP_TRY(rd.u8());
     if (len == 0) break;
     uint8_t tag = len & 0xc0;
     if (tag == 0xc0) {
-      // Compression pointer: 14-bit offset from message start.
+      // Compression pointer: 14-bit offset from message start. Each hop
+      // must land strictly before the pointer itself, so chains always move
+      // toward the message start and can never revisit a position — loops
+      // (including self-pointers) and forward references are both rejected
+      // by the same check. The hop cap is defense in depth on top of that:
+      // even an all-backward chain packed 2 bytes apart terminates early.
       uint8_t low = LDP_TRY(rd.u8());
       size_t target = static_cast<size_t>(len & 0x3f) << 8 | low;
-      if (++hops > kMaxPointerHops) return Err("compression pointer loop");
+      if (++hops > kMaxPointerHops) return Err("compression pointer chain too long");
       if (resume_pos == 0) resume_pos = rd.pos();
       if (target >= rd.pos() - 2)
         return Err("forward compression pointer");
@@ -89,6 +95,11 @@ Result<Name> Name::from_wire(ByteReader& rd) {
       continue;
     }
     if (tag != 0) return Err("unsupported label type");
+    // Cap the total decompressed size before buffering label bytes, so a
+    // hostile chain re-using long labels is cut off at the wire limit no
+    // matter how it was assembled.
+    expanded += static_cast<size_t>(len) + 1;
+    if (expanded + 1 > kMaxWire) return Err("name decompresses past 255 octets");
     auto bytes = LDP_TRY(rd.bytes(len));
     LDP_TRY_VOID(name.append_label(
         std::string_view(reinterpret_cast<const char*>(bytes.data()), bytes.size())));

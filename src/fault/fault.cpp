@@ -65,6 +65,8 @@ Result<double> parse_number(std::string_view text) {
   return value;
 }
 
+}  // namespace
+
 Result<TimeNs> parse_duration(std::string_view text) {
   size_t i = 0;
   while (i < text.size() &&
@@ -90,6 +92,8 @@ Result<TimeNs> parse_duration(std::string_view text) {
   }
   return static_cast<TimeNs>(value * scale);
 }
+
+namespace {
 
 Result<double> parse_probability(std::string_view key, std::string_view text) {
   auto p = parse_number(text);
@@ -155,6 +159,11 @@ std::string FaultSpec::to_string() const {
     out << "querier_stall:" << stall_querier << "@"
         << duration_to_string(stall_after);
   }
+  if (slow_client > 0) {
+    sep();
+    out << "slow_client:" << prob_to_string(slow_client) << ",drip:"
+        << duration_to_string(slow_drip);
+  }
   sep();
   out << "seed:" << seed;
   return out.str();
@@ -216,6 +225,12 @@ Result<FaultSpec> parse_fault_spec(std::string_view text) {
         return Err("querier_stall wants <querier-id>[@<delay>], got '" +
                    std::string(value) + "'");
       spec.stall_querier = id;
+    } else if (key == "slow_client") {
+      spec.slow_client = LDP_TRY(parse_probability(key, value));
+    } else if (key == "drip") {
+      spec.slow_drip = LDP_TRY(parse_duration(value));
+      if (spec.slow_drip <= 0)
+        return Err("drip wants a positive interval, got '" + std::string(value) + "'");
     } else if (key == "seed") {
       uint64_t s = 0;
       auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), s);
@@ -227,6 +242,16 @@ Result<FaultSpec> parse_fault_spec(std::string_view text) {
     }
   }
   return spec;
+}
+
+bool FaultSpec::is_slow_client(uint64_t conn_index) const {
+  if (slow_client <= 0) return false;
+  if (slow_client >= 1) return true;
+  // Pure function of (seed, conn_index): one draw from a throwaway engine
+  // seeded per connection, so no shared stream position is consumed and the
+  // verdict is independent of accept order across server restarts.
+  Rng rng(stream_seed(seed, "slow_client:" + std::to_string(conn_index)));
+  return rng.uniform01() < slow_client;
 }
 
 uint64_t stream_seed(uint64_t base_seed, std::string_view name) {

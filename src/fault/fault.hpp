@@ -84,6 +84,23 @@ struct FaultSpec {
   /// consumed — the stall is a pure function of (id, time). -1 = disabled.
   int64_t stall_querier = -1;
   TimeNs stall_after = 0;
+  /// Slowloris injection ("slow_client:<prob>[,drip:<interval>]"): each TCP
+  /// connection is independently a "slow client" with this probability — it
+  /// dribbles one byte of a framed query every `slow_drip` instead of
+  /// completing messages, pinning a server connection slot until the
+  /// server's slow-client defenses (read deadline / partial-buffer cap)
+  /// close it. Like querier_stall this is a behaviour knob, not a link
+  /// impairment: enabled() ignores it, no stream draws are consumed, and
+  /// the decision for connection k is a pure function of (seed, k) — see
+  /// is_slow_client().
+  double slow_client = 0;
+  TimeNs slow_drip = 100 * kMilli;
+
+  /// Deterministic slowloris verdict for the `conn_index`-th connection a
+  /// querier opens (per-querier open order — a thread-shared counter would
+  /// make the mix depend on scheduling): pure function of (seed,
+  /// conn_index), independent of any FaultStream's draw position.
+  bool is_slow_client(uint64_t conn_index) const;
 
   /// Anything to do at all? (Counters still run when false.)
   bool enabled() const;
@@ -92,10 +109,16 @@ struct FaultSpec {
 };
 
 /// Parse "loss:0.05,dup:0.01,reorder:0.02,gap:20ms,delay:5ms,jitter:2ms,
-/// corrupt:0.01,blackhole:2s-3s,flap:500ms/100ms,seed:42". Keys may appear
-/// in any order; unknown keys, bad numbers, and out-of-range probabilities
-/// are errors. Durations accept ns/us/ms/s suffixes (bare numbers are ms).
+/// corrupt:0.01,blackhole:2s-3s,flap:500ms/100ms,slow_client:0.3,drip:50ms,
+/// seed:42". Keys may appear in any order; unknown keys, bad numbers, and
+/// out-of-range probabilities are errors. Durations accept ns/us/ms/s
+/// suffixes (bare numbers are ms).
 Result<FaultSpec> parse_fault_spec(std::string_view text);
+
+/// Parse one duration token ("20ms", "2s", "1500us", "5" = 5 ms). Shared by
+/// the fault spec and the server --limits/--overload mini-languages so every
+/// operator-facing knob accepts the same duration syntax.
+Result<TimeNs> parse_duration(std::string_view text);
 
 /// What a FaultStream decided to do with one packet.
 enum class Action : uint8_t {

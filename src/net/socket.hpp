@@ -74,6 +74,9 @@ class TcpStream {
   Result<std::vector<std::vector<uint8_t>>> read_messages(bool& closed);
 
   size_t pending_bytes() const { return out_.size(); }
+  /// Bytes of incomplete inbound frame(s) held for reassembly — the buffer
+  /// a slow or hostile client grows; servers bound it (LimitsConfig).
+  size_t partial_bytes() const { return in_.size(); }
   /// Estimated user-space buffer footprint (memory-model input).
   size_t buffer_footprint() const { return out_.size() + in_.size(); }
 

@@ -1,0 +1,89 @@
+#include "proxy/failover.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace ldp::proxy {
+
+std::string FailoverStats::summary() const {
+  std::ostringstream out;
+  out << "probes " << probes << "  probe_failures " << probe_failures
+      << "  failovers " << failovers << "  failbacks " << failbacks
+      << "  forwarded_primary " << forwarded_primary << "  forwarded_secondary "
+      << forwarded_secondary << "  buffered " << buffered << "  buffer_dropped "
+      << buffer_dropped << "  drained " << drained;
+  return out.str();
+}
+
+FailoverForwarder::FailoverForwarder(FailoverConfig config, ProbeFn probe,
+                                     SendFn send)
+    : config_(std::move(config)), probe_(std::move(probe)),
+      send_(std::move(send)) {}
+
+void FailoverForwarder::forward(Datagram&& pkt, TimeNs now) {
+  tick(now);
+  if (up_) {
+    ++stats_.forwarded_primary;
+    send_(config_.primary, std::move(pkt));
+    return;
+  }
+  if (config_.secondary.has_value()) {
+    ++stats_.forwarded_secondary;
+    send_(*config_.secondary, std::move(pkt));
+    return;
+  }
+  if (config_.buffer_capacity > 0 && buffer_.size() >= config_.buffer_capacity) {
+    buffer_.pop_front();
+    ++stats_.buffer_dropped;
+  }
+  buffer_.push_back(std::move(pkt));
+  ++stats_.buffered;
+}
+
+void FailoverForwarder::tick(TimeNs now) {
+  if (now >= next_probe_) probe_primary(now);
+}
+
+void FailoverForwarder::probe_primary(TimeNs now) {
+  ++stats_.probes;
+  bool ok = probe_(config_.primary, now);
+  if (up_) {
+    if (ok) {
+      consecutive_failures_ = 0;
+      next_probe_ = now + config_.probe_interval;
+      return;
+    }
+    ++stats_.probe_failures;
+    if (++consecutive_failures_ >= config_.fail_threshold) {
+      up_ = false;
+      ++stats_.failovers;
+      backoff_ = config_.backoff_base;
+      next_probe_ = now + backoff_;
+    } else {
+      // Suspect: re-probe at the normal cadence until the threshold trips,
+      // so one blip doesn't trigger backoff.
+      next_probe_ = now + config_.probe_interval;
+    }
+    return;
+  }
+  // Down: success drains and fails back, failure doubles the backoff.
+  if (ok) {
+    up_ = true;
+    ++stats_.failbacks;
+    consecutive_failures_ = 0;
+    while (!buffer_.empty()) {
+      Datagram pkt = std::move(buffer_.front());
+      buffer_.pop_front();
+      ++stats_.drained;
+      send_(config_.primary, std::move(pkt));
+    }
+    next_probe_ = now + config_.probe_interval;
+    return;
+  }
+  ++stats_.probe_failures;
+  backoff_ = std::min(backoff_ * 2, config_.backoff_cap);
+  next_probe_ = now + backoff_;
+}
+
+}  // namespace ldp::proxy

@@ -1,0 +1,106 @@
+// Proxy backend health-checking and failover. In the paper's deployment a
+// proxy forwards everything to one meta server; when that backend dies the
+// proxy silently blackholes the trace. FailoverForwarder puts a health
+// state machine in front of the send path:
+//
+//        probe ok                      probe ok (failback, drain buffer)
+//   ┌──────────────┐             ┌───────────────────────────────┐
+//   ▼              │             │                               │
+//  UP ── fail_threshold consecutive probe failures ──▶ DOWN ─────┘
+//                                                      │  probe fail:
+//                                                      └─ backoff ×2 (capped)
+//
+// While UP, datagrams go to the primary and the primary is probed every
+// probe_interval. While DOWN, datagrams go to the secondary backend if one
+// is configured, else into a bounded drop-oldest buffer; the primary is
+// re-probed on an exponential backoff. On recovery the buffer drains to the
+// primary in arrival order.
+//
+// The forwarder is deliberately single-threaded (callers serialize, e.g.
+// the pipeline reader thread or an EventLoop) and takes `now` explicitly,
+// so tests drive it on a synthetic clock and probe outcomes can come from a
+// seeded fault stream — every transition is then a deterministic function
+// of (seed, schedule), which is what lets the regression tests pin exact
+// counter values.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "proxy/proxy.hpp"
+#include "util/clock.hpp"
+
+namespace ldp::proxy {
+
+struct FailoverConfig {
+  Endpoint primary;
+  /// Fallback backend while the primary is down; nullopt = buffer instead.
+  std::optional<Endpoint> secondary;
+  /// Probe cadence while the primary is up.
+  TimeNs probe_interval = kSecond;
+  /// Consecutive probe failures before the primary is marked down.
+  size_t fail_threshold = 3;
+  /// First re-probe delay after marking down; doubles per failure.
+  TimeNs backoff_base = kSecond;
+  /// Ceiling for the doubled backoff.
+  TimeNs backoff_cap = 30 * kSecond;
+  /// Datagrams held while down with no secondary (drop-oldest beyond this).
+  size_t buffer_capacity = 256;
+};
+
+struct FailoverStats {
+  uint64_t probes = 0;
+  uint64_t probe_failures = 0;
+  uint64_t failovers = 0;   ///< up → down transitions
+  uint64_t failbacks = 0;   ///< down → up transitions
+  uint64_t forwarded_primary = 0;
+  uint64_t forwarded_secondary = 0;
+  uint64_t buffered = 0;        ///< datagrams parked while down
+  uint64_t buffer_dropped = 0;  ///< oldest datagrams evicted from the buffer
+  uint64_t drained = 0;         ///< buffered datagrams replayed on failback
+
+  bool operator==(const FailoverStats&) const = default;
+  /// One-line counter report for tools and tests.
+  std::string summary() const;
+};
+
+class FailoverForwarder {
+ public:
+  /// Health probe: true = backend answered. Takes `now` so deterministic
+  /// test probes can be a function of the synthetic clock / a fault seed.
+  using ProbeFn = std::function<bool(const Endpoint& backend, TimeNs now)>;
+  /// Delivery: called with the chosen backend for each forwarded datagram.
+  using SendFn = std::function<void(const Endpoint& backend, Datagram&& pkt)>;
+
+  FailoverForwarder(FailoverConfig config, ProbeFn probe, SendFn send);
+
+  /// Forward one datagram according to the current health state.
+  void forward(Datagram&& pkt, TimeNs now);
+
+  /// Run the probe schedule. Call periodically (a sweep timer, or per
+  /// synthetic-clock step in tests); probing happens only when due, so
+  /// calling it more often than probe_interval is free.
+  void tick(TimeNs now);
+
+  bool primary_up() const { return up_; }
+  size_t buffered_now() const { return buffer_.size(); }
+  const FailoverStats& stats() const { return stats_; }
+
+ private:
+  void probe_primary(TimeNs now);
+
+  FailoverConfig config_;
+  ProbeFn probe_;
+  SendFn send_;
+  FailoverStats stats_;
+  std::deque<Datagram> buffer_;
+  bool up_ = true;
+  size_t consecutive_failures_ = 0;
+  TimeNs backoff_ = 0;
+  /// Next probe due at this time; 0 = probe immediately on first tick.
+  TimeNs next_probe_ = 0;
+};
+
+}  // namespace ldp::proxy

@@ -1,6 +1,7 @@
 #include "replay/engine.hpp"
 
 #include <sys/eventfd.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -240,6 +241,14 @@ class QueryEngine::Querier {
     // Per-source impairment stream (owned by the querier's stream map, so
     // the draw sequence survives reconnects).
     fault::FaultStream* fault = nullptr;
+    // Slowloris injection (fault knob slow_client): a slow connection never
+    // sends a whole frame — framed queries join drip_out and trickle one
+    // byte per slow_drip interval, holding the server's reassembly buffer
+    // open exactly like a hostile client would.
+    bool slow = false;
+    std::vector<uint8_t> drip_out;
+    size_t drip_pos = 0;
+    bool drip_armed = false;
 
     explicit TcpConn(net::TcpStream s) : stream(std::move(s)) {}
   };
@@ -473,8 +482,7 @@ class QueryEngine::Querier {
         note_in_flight(+1);
       } else {
         size_t still_pending = 0;
-        auto out = net::impaired_tcp_send(conn->stream, conn->fault, now,
-                                          pq.payload, &still_pending);
+        auto out = tcp_send(conn, pq.source, now, pq.payload, &still_pending);
         IpAddr source = pq.source;
         if (conn->pending.insert(std::move(pq)))
           ++report_.lifecycle.duplicate_ids;
@@ -589,9 +597,8 @@ class QueryEngine::Querier {
         note_in_flight(+1);
       } else {
         size_t still_pending = 0;
-        auto out = net::impaired_tcp_send(conn->stream, conn->fault,
-                                          sr.send_time, pq.payload,
-                                          &still_pending);
+        auto out = tcp_send(conn, rec.src.addr, sr.send_time, pq.payload,
+                            &still_pending);
         if (conn->pending.insert(std::move(pq)))
           ++report_.lifecycle.duplicate_ids;
         note_in_flight(+1);
@@ -638,6 +645,10 @@ class QueryEngine::Querier {
     auto owned = std::make_unique<TcpConn>(std::move(*stream));
     TcpConn* raw = owned.get();
     raw->fault = fault_stream("tcp:", source);
+    // Slow-client verdict is a pure function of (seed, per-querier open
+    // order), so a fixed-seed run injects the same slowloris mix every time.
+    raw->slow = config_.fault.has_value() &&
+                config_.fault->is_slow_client(tcp_conn_seq_++);
     (void)raw->stream.set_nodelay(true);  // §5.2.1 disables Nagle at clients
     auto add = loop_.add_fd(raw->stream.fd(), net::Interest{true, true},
                             [this, source, raw](bool readable, bool writable) {
@@ -648,6 +659,54 @@ class QueryEngine::Querier {
     tcp_conns_.emplace(source, std::move(owned));
     if (sweep_timer_ == 0) arm_sweep();
     return raw;
+  }
+
+  /// Single choke point for putting a framed query on a TCP connection.
+  /// Normal connections go through the impairment layer; a slow_client
+  /// connection instead queues the frame for one-byte-at-a-time dripping
+  /// and reports Sent — the query then ages out through the ordinary
+  /// timeout/retry lifecycle, which is precisely what a slowloris victim
+  /// sees.
+  net::TcpSendOutcome tcp_send(TcpConn* conn, const IpAddr& source, TimeNs now,
+                               const std::vector<uint8_t>& payload,
+                               size_t* pending_out = nullptr) {
+    if (pending_out != nullptr) *pending_out = 0;
+    if (conn->slow) {
+      conn->drip_out.push_back(static_cast<uint8_t>(payload.size() >> 8));
+      conn->drip_out.push_back(static_cast<uint8_t>(payload.size() & 0xff));
+      conn->drip_out.insert(conn->drip_out.end(), payload.begin(),
+                            payload.end());
+      arm_drip(conn, source);
+      return net::TcpSendOutcome::Sent;
+    }
+    return net::impaired_tcp_send(conn->stream, conn->fault, now, payload,
+                                  pending_out);
+  }
+
+  void arm_drip(TcpConn* conn, const IpAddr& source) {
+    if (conn->drip_armed || !conn->connected) return;
+    conn->drip_armed = true;
+    TimeNs interval =
+        config_.fault.has_value() ? config_.fault->slow_drip : 100 * kMilli;
+    // The timer holds only the source key: if the connection is gone (or
+    // replaced by a reconnect) when it fires, the lookup resolves to
+    // whatever is current and the stale drip state dies with the old conn.
+    loop_.add_timer_after(interval, [this, source] { drip_tick(source); });
+  }
+
+  void drip_tick(const IpAddr& source) {
+    auto it = tcp_conns_.find(source);
+    if (it == tcp_conns_.end()) return;
+    TcpConn* conn = it->second.get();
+    conn->drip_armed = false;
+    if (conn->drip_pos < conn->drip_out.size()) {
+      uint8_t byte = conn->drip_out[conn->drip_pos];
+      ssize_t n = ::send(conn->stream.fd(), &byte, 1, MSG_NOSIGNAL);
+      if (n == 1) ++conn->drip_pos;
+      // EAGAIN (or a dying socket): retry next tick; a real failure
+      // surfaces through the readable path as a close.
+    }
+    if (conn->drip_pos < conn->drip_out.size()) arm_drip(conn, source);
   }
 
   void on_udp_readable(UdpSock* us) {
@@ -668,7 +727,7 @@ class QueryEngine::Querier {
       conn->connected = true;
       TimeNs now = mono_now_ns();
       for (auto& msg : conn->backlog) {
-        auto out = net::impaired_tcp_send(conn->stream, conn->fault, now, msg);
+        auto out = tcp_send(conn, source, now, msg);
         if (out == net::TcpSendOutcome::Error ||
             out == net::TcpSendOutcome::LinkDown) {
           close_tcp(source, /*lost=*/true);
@@ -871,8 +930,7 @@ class QueryEngine::Querier {
       return;
     }
     size_t still_pending = 0;
-    auto out = net::impaired_tcp_send(conn->stream, conn->fault, now, pq.payload,
-                                      &still_pending);
+    auto out = tcp_send(conn, source, now, pq.payload, &still_pending);
     if (out == net::TcpSendOutcome::Error ||
         out == net::TcpSendOutcome::LinkDown) {
       conn->pending.insert(std::move(pq));
@@ -972,6 +1030,7 @@ class QueryEngine::Querier {
 
   std::unordered_map<IpAddr, std::unique_ptr<UdpSock>, IpAddrHash> udp_socks_;
   std::unordered_map<IpAddr, std::unique_ptr<TcpConn>, IpAddrHash> tcp_conns_;
+  uint64_t tcp_conn_seq_ = 0;  // per-querier open order, keys is_slow_client()
   // Named per-source impairment streams ("udp:<src>" / "tcp:<src>"),
   // created lazily; they outlive reconnects so a source's draw sequence is
   // continuous for the whole replay.

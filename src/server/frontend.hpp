@@ -1,17 +1,26 @@
 // Socket frontend for AuthServer: UDP + framed-TCP listeners on an
 // EventLoop, with the connection management knobs the §5.2 experiments
 // turn — per-connection idle timeout (5–40 s sweep) and connection
-// accounting (established count, lifetime totals, close reasons).
+// accounting — plus the resilience layer a production server needs when
+// connection state runs out: admission control (max_connections with LRU
+// eviction, per-client quotas), slow-client defense (read/write deadlines,
+// bounded partial-frame buffers), and adaptive overload degradation
+// (refuse/drop/truncate with hysteresis). See server/limits.hpp for the
+// knobs and DESIGN.md §Server-side resilience for the state machines.
 #pragma once
 
 #include <list>
 #include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "fault/fault.hpp"
 #include "net/event_loop.hpp"
 #include "net/impaired.hpp"
 #include "net/socket.hpp"
 #include "server/auth_server.hpp"
+#include "server/limits.hpp"
 
 namespace ldp::server {
 
@@ -19,9 +28,13 @@ struct FrontendConfig {
   Endpoint bind{IpAddr{Ip4{127, 0, 0, 1}}, 0};  ///< port 0 = ephemeral
   /// Idle-connection timeout (the Figures 11/13/14 sweep variable).
   TimeNs tcp_idle_timeout = 20 * kSecond;
-  /// How often the idle sweep runs.
+  /// How often the idle/deadline sweep runs.
   TimeNs sweep_interval = kSecond;
   size_t udp_payload_limit = 512;
+  /// Admission control and slow-client defense (zeroes = unhardened).
+  LimitsConfig limits;
+  /// Overload degradation policy (None = never degrade).
+  OverloadConfig overload;
   /// Egress impairment: replies leave through fault streams "srv:udp" /
   /// "srv:tcp" (a lossy link is symmetric for query/response accounting —
   /// an eaten reply and an eaten query both look like a lost exchange to
@@ -30,12 +43,50 @@ struct FrontendConfig {
   std::optional<fault::FaultSpec> fault;
 };
 
+/// Why a TCP connection was closed — each reason is its own counter so the
+/// established gauge is auditable against the close totals (see
+/// ConnectionStats::consistent()).
+enum class CloseReason : uint8_t {
+  Idle,        ///< idle-timeout sweep (the §5.2 sweep variable)
+  Peer,        ///< orderly close by the client
+  Error,       ///< socket error, failed send, or injected link-down
+  EvictedLru,  ///< closed to admit a new connection at max_connections
+  Deadline,    ///< slow-client read deadline: partial frame, no progress
+  WriteStall,  ///< write deadline: peer stopped reading its replies
+  Overflow,    ///< partial-frame buffer exceeded max_partial_bytes
+  Shutdown,    ///< frontend shutdown closed it
+};
+
 struct ConnectionStats {
-  uint64_t accepted = 0;
+  uint64_t accepted = 0;  ///< admitted connections (excludes quota refusals)
   uint64_t closed_idle = 0;
   uint64_t closed_by_peer = 0;
+  uint64_t closed_error = 0;
+  uint64_t closed_shutdown = 0;
+  // --- resilience layer ---------------------------------------------------
+  uint64_t evicted_lru = 0;       ///< LRU closes to stay under max_connections
+  uint64_t refused_quota = 0;     ///< accepts closed for per-client quota
+  uint64_t deadline_closed = 0;   ///< slow-client read-deadline closes
+  uint64_t write_stall_closed = 0;
+  uint64_t overflow_closed = 0;   ///< partial-buffer cap closes
+  uint64_t refused_overload = 0;  ///< queries answered REFUSED while overloaded
+  uint64_t dropped_overload = 0;  ///< queries dropped while overloaded
+  uint64_t truncated_overload = 0;  ///< queries answered TC=1 while overloaded
+  uint64_t overload_entered = 0;  ///< high-watermark crossings
+  uint64_t overload_exited = 0;   ///< recoveries past the low watermark
   size_t established = 0;  ///< currently open
   size_t peak_established = 0;
+
+  uint64_t closed_total() const {
+    return closed_idle + closed_by_peer + closed_error + closed_shutdown +
+           evicted_lru + deadline_closed + write_stall_closed + overflow_closed;
+  }
+  /// Accounting invariant: every admitted connection is either still
+  /// established or counted under exactly one close reason.
+  bool consistent() const { return accepted == established + closed_total(); }
+
+  /// One-line "accepted 12  established 3 ..." report for tools and tests.
+  std::string summary() const;
 };
 
 /// One running server endpoint (UDP + TCP on the same port).
@@ -56,6 +107,9 @@ class ServerFrontend {
 
   const ConnectionStats& connections() const { return conn_stats_; }
 
+  /// Currently in the overloaded state (degradation policy active)?
+  bool overloaded() const { return overloaded_; }
+
   /// Combined fault-layer accounting for both egress streams (all zeroes
   /// when the frontend runs unimpaired).
   fault::ImpairmentCounters impairments() const;
@@ -69,15 +123,34 @@ class ServerFrontend {
 
   struct Connection {
     net::TcpStream stream;
-    TimeNs last_activity;
-    Connection(net::TcpStream s, TimeNs t) : stream(std::move(s)), last_activity(t) {}
+    IpAddr client;
+    TimeNs last_activity;   ///< any inbound bytes (LRU order, idle timeout)
+    TimeNs last_progress;   ///< last *complete* message (read deadline)
+    TimeNs write_blocked_since = 0;  ///< 0 = no reply bytes pending
+    Connection(net::TcpStream s, TimeNs t)
+        : stream(std::move(s)), client(stream.peer().addr), last_activity(t),
+          last_progress(t) {}
   };
+  using ConnIter = std::list<Connection>::iterator;
 
   void on_udp_readable();
   void on_tcp_acceptable();
-  void on_conn_readable(std::list<Connection>::iterator it);
-  void close_connection(std::list<Connection>::iterator it, bool idle);
-  void sweep_idle();
+  void on_conn_readable(ConnIter it);
+  /// Flush pending reply bytes; returns false if the connection was closed.
+  bool on_conn_writable(ConnIter it);
+  void close_connection(ConnIter it, CloseReason reason);
+  void sweep_connections();
+  /// Recompute the overload state after the established gauge changed.
+  void update_overload();
+  /// Apply the overload policy to one query. Returns true when the query
+  /// was consumed (degraded reply already sent or query dropped);
+  /// `reply_out` receives the degraded reply bytes for the TCP path.
+  bool degrade_query(std::span<const uint8_t> query,
+                     std::vector<uint8_t>* reply_out);
+  /// Track reply bytes left unflushed on a connection: arms write interest
+  /// and starts the write-deadline clock (or clears both when drained).
+  /// Returns false when re-arming failed (caller closes the connection).
+  bool note_pending_out(ConnIter it, size_t pending, TimeNs now);
 
   net::EventLoop& loop_;
   AuthServer& server_;
@@ -87,9 +160,12 @@ class ServerFrontend {
   std::unique_ptr<fault::FaultStream> tcp_fault_;
   std::optional<net::ImpairedUdpSocket> udp_;
   std::optional<net::TcpListener> listener_;
+  /// MRU order: front = most recently active, back = LRU eviction victim.
   std::list<Connection> connections_;
+  std::unordered_map<IpAddr, size_t, IpAddrHash> per_client_;
   ConnectionStats conn_stats_;
   net::EventLoop::TimerId sweep_timer_ = 0;
+  bool overloaded_ = false;
   bool shut_down_ = false;
 };
 

@@ -1,0 +1,147 @@
+#include "server/limits.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "fault/fault.hpp"
+#include "util/strings.hpp"
+
+namespace ldp::server {
+
+namespace {
+
+// Mirrors fault.cpp's duration printing: largest unit that divides exactly,
+// so to_string output parses back to the identical config.
+std::string duration_to_string(TimeNs ns) {
+  if (ns % kSecond == 0) return std::to_string(ns / kSecond) + "s";
+  if (ns % kMilli == 0) return std::to_string(ns / kMilli) + "ms";
+  if (ns % kMicro == 0) return std::to_string(ns / kMicro) + "us";
+  return std::to_string(ns) + "ns";
+}
+
+Result<size_t> parse_count(std::string_view key, std::string_view value) {
+  size_t n = 0;
+  auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), n);
+  if (ec != std::errc{} || p != value.data() + value.size())
+    return Err("bad value for " + std::string(key) + ": '" + std::string(value) + "'");
+  return n;
+}
+
+}  // namespace
+
+std::string LimitsConfig::to_string() const {
+  std::ostringstream out;
+  auto sep = [&out, first = true]() mutable {
+    if (!first) out << ",";
+    first = false;
+  };
+  if (max_connections > 0) {
+    sep();
+    out << "max-conns:" << max_connections;
+  }
+  if (per_client_quota > 0) {
+    sep();
+    out << "quota:" << per_client_quota;
+  }
+  if (read_deadline > 0) {
+    sep();
+    out << "read-deadline:" << duration_to_string(read_deadline);
+  }
+  if (write_deadline > 0) {
+    sep();
+    out << "write-deadline:" << duration_to_string(write_deadline);
+  }
+  if (max_partial_bytes > 0) {
+    sep();
+    out << "max-partial:" << max_partial_bytes;
+  }
+  return out.str();
+}
+
+const char* overload_policy_name(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::None: return "none";
+    case OverloadPolicy::Refuse: return "refuse";
+    case OverloadPolicy::Drop: return "drop";
+    case OverloadPolicy::Truncate: return "truncate";
+  }
+  return "none";
+}
+
+std::string OverloadConfig::to_string() const {
+  if (!enabled()) return "";
+  std::ostringstream out;
+  out << "policy:" << overload_policy_name(policy) << ",high:" << high_watermark
+      << ",low:" << low_watermark;
+  return out.str();
+}
+
+Result<LimitsConfig> parse_limits_spec(std::string_view text) {
+  LimitsConfig limits;
+  for (std::string_view item : split(text, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    size_t colon = item.find(':');
+    if (colon == std::string_view::npos)
+      return Err("limits spec item '" + std::string(item) + "' needs key:value");
+    std::string_view key = item.substr(0, colon);
+    std::string_view value = item.substr(colon + 1);
+    if (key == "max-conns") {
+      limits.max_connections = LDP_TRY(parse_count(key, value));
+    } else if (key == "quota") {
+      limits.per_client_quota = LDP_TRY(parse_count(key, value));
+    } else if (key == "read-deadline") {
+      limits.read_deadline = LDP_TRY(fault::parse_duration(value));
+    } else if (key == "write-deadline") {
+      limits.write_deadline = LDP_TRY(fault::parse_duration(value));
+    } else if (key == "max-partial") {
+      limits.max_partial_bytes = LDP_TRY(parse_count(key, value));
+    } else {
+      return Err("unknown limits spec key '" + std::string(key) + "'");
+    }
+  }
+  return limits;
+}
+
+Result<OverloadConfig> parse_overload_spec(std::string_view text) {
+  OverloadConfig overload;
+  bool saw_low = false;
+  for (std::string_view item : split(text, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    size_t colon = item.find(':');
+    if (colon == std::string_view::npos)
+      return Err("overload spec item '" + std::string(item) + "' needs key:value");
+    std::string_view key = item.substr(0, colon);
+    std::string_view value = item.substr(colon + 1);
+    if (key == "policy") {
+      if (value == "refuse") {
+        overload.policy = OverloadPolicy::Refuse;
+      } else if (value == "drop") {
+        overload.policy = OverloadPolicy::Drop;
+      } else if (value == "truncate") {
+        overload.policy = OverloadPolicy::Truncate;
+      } else {
+        return Err("unknown overload policy '" + std::string(value) +
+                   "' (want refuse|drop|truncate)");
+      }
+    } else if (key == "high") {
+      overload.high_watermark = LDP_TRY(parse_count(key, value));
+    } else if (key == "low") {
+      overload.low_watermark = LDP_TRY(parse_count(key, value));
+      saw_low = true;
+    } else {
+      return Err("unknown overload spec key '" + std::string(key) + "'");
+    }
+  }
+  if (overload.policy != OverloadPolicy::None && overload.high_watermark == 0)
+    return Err("overload spec needs high:<count> with a policy");
+  if (overload.policy == OverloadPolicy::None && overload.high_watermark > 0)
+    return Err("overload spec needs policy:refuse|drop|truncate with watermarks");
+  if (!saw_low) overload.low_watermark = overload.high_watermark / 2;
+  if (overload.low_watermark > overload.high_watermark)
+    return Err("overload low watermark exceeds high watermark");
+  return overload;
+}
+
+}  // namespace ldp::server

@@ -1,0 +1,90 @@
+// Resilience knobs for the serving path: admission control (connection cap
+// with LRU eviction, per-client quotas), slow-client defense (read/write
+// deadlines, bounded partial-frame buffers), and adaptive overload
+// degradation (refuse/drop/truncate with hysteresis). The §5.2 all-TCP/TLS
+// experiments sweep idle timeouts precisely because connection state is the
+// server's scarce resource — these knobs are what a production server does
+// when that resource runs out, so the fig11–14 sweeps can be re-run against
+// a hardened frontend and the degradation modes measured.
+//
+// Both structs have a spec mini-language mirroring ldp::fault's
+// ("key:value,key:value", strict about unknown keys), surfaced as
+// `ldp-server --limits` / `--overload`.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/clock.hpp"
+#include "util/result.hpp"
+
+namespace ldp::server {
+
+/// Admission-control and slow-client limits for a ServerFrontend. Every
+/// knob's zero value means "unlimited/disabled", so a default-constructed
+/// LimitsConfig reproduces the unhardened frontend exactly.
+struct LimitsConfig {
+  /// Cap on concurrently established TCP connections. When a new accept
+  /// would exceed it, the least-recently-active connection is closed first
+  /// (RFC 7766 §6.1 lets a server close idle connections at its
+  /// discretion); the cap therefore always admits the newcomer.
+  size_t max_connections = 0;
+  /// Cap on concurrent connections per client address; an accept beyond the
+  /// quota is closed immediately (counted, never established).
+  size_t per_client_quota = 0;
+  /// A connection with a partially-read frame must complete a message
+  /// within this long of its last completed one (or of accept), else it is
+  /// closed — the slowloris defense: dribbling bytes keeps a connection
+  /// "active" for idle-timeout purposes but never makes progress.
+  TimeNs read_deadline = 0;
+  /// Reply bytes may stay queued on a connection at most this long before
+  /// the connection is closed — a peer that stops reading cannot hold
+  /// reply buffers forever.
+  TimeNs write_deadline = 0;
+  /// Cap on the partial-frame reassembly buffer per connection; a client
+  /// that streams bytes without ever completing a frame is closed when the
+  /// buffer would exceed this.
+  size_t max_partial_bytes = 0;
+
+  bool any_enabled() const {
+    return max_connections > 0 || per_client_quota > 0 || read_deadline > 0 ||
+           write_deadline > 0 || max_partial_bytes > 0;
+  }
+  /// Canonical "max-conns:64,quota:4,..." form (parse round-trips).
+  std::string to_string() const;
+};
+
+/// What an overloaded frontend does with incoming queries.
+enum class OverloadPolicy : uint8_t {
+  None = 0,      ///< never degrade (answer everything, possibly stalling)
+  Refuse = 1,    ///< answer RCODE REFUSED without touching the zone data
+  Drop = 2,      ///< silently drop the query (client times out / retries)
+  Truncate = 3,  ///< answer header-only TC=1, pushing the client to retry
+};
+
+/// Adaptive overload degradation with hysteresis: the frontend enters the
+/// overloaded state when the established-connection gauge reaches
+/// `high_watermark` and leaves it only when the gauge falls back to
+/// `low_watermark` — the gap stops the policy flapping at the boundary.
+struct OverloadConfig {
+  OverloadPolicy policy = OverloadPolicy::None;
+  size_t high_watermark = 0;  ///< enter overload at this many connections
+  size_t low_watermark = 0;   ///< leave overload at or below this many
+
+  bool enabled() const { return policy != OverloadPolicy::None && high_watermark > 0; }
+  std::string to_string() const;
+};
+
+const char* overload_policy_name(OverloadPolicy policy);
+
+/// Parse "max-conns:64,quota:4,read-deadline:2s,write-deadline:2s,
+/// max-partial:4096". Keys in any order; unknown keys, bad numbers, and bad
+/// durations are errors (same strictness as parse_fault_spec).
+Result<LimitsConfig> parse_limits_spec(std::string_view text);
+
+/// Parse "policy:refuse,high:48,low:32". `policy` must be one of
+/// refuse|drop|truncate; `high` is required with it; `low` defaults to
+/// high/2 and must not exceed high.
+Result<OverloadConfig> parse_overload_spec(std::string_view text);
+
+}  // namespace ldp::server

@@ -82,4 +82,32 @@ echo "$OUT3" | grep -q "queries sent:       400" || { echo "resumed run lost que
 
 kill $SERVER_PID
 wait $SERVER_PID 2>/dev/null || true
+
+echo "== hardened server: --limits/--overload accepted, replay still answered"
+PORT2=$(( (RANDOM % 10000) + 20000 ))
+$SERVER --port $PORT2 \
+  --limits max-conns:32,quota:16,read-deadline:2s,max-partial:4096 \
+  --overload policy:refuse,high:28,low:14 example.zone 2> hardened.log &
+SERVER_PID=$!
+sleep 0.5
+OUT4=$($REPLAY --fast trace.ldpb 127.0.0.1 $PORT2)
+echo "$OUT4"
+RESP4=$(echo "$OUT4" | sed -n 's/responses received: \([0-9]*\).*/\1/p')
+[ "$RESP4" -gt 0 ] || { echo "hardened server answered nothing"; exit 1; }
+kill $SERVER_PID
+wait $SERVER_PID 2>/dev/null || true
+grep -q "limits: max-conns:32" hardened.log || { echo "limits banner missing"; exit 1; }
+grep -q "overload: policy:refuse" hardened.log || { echo "overload banner missing"; exit 1; }
+grep -q "connections:" hardened.log || { echo "connection summary missing"; exit 1; }
+
+echo "== hardened server: malformed specs are strict errors"
+if $SERVER --limits max-conn:32 example.zone 2> badspec.log; then
+  echo "bad --limits spec was accepted"; exit 1
+fi
+grep -q "bad --limits spec" badspec.log || { echo "missing --limits error"; exit 1; }
+if $SERVER --overload policy:reboot,high:8 example.zone 2>> badspec.log; then
+  echo "bad --overload spec was accepted"; exit 1
+fi
+grep -q "bad --overload spec" badspec.log || { echo "missing --overload error"; exit 1; }
+
 echo "CLI smoke test passed"

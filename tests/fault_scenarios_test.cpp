@@ -244,6 +244,74 @@ TEST(FaultScenarios, TcpFlapForcesReconnect) {
 }
 
 // ---------------------------------------------------------------------------
+// slow_client knob: the engine really dribbles bytes, and a hardened
+// frontend really ejects the dribbler (the two halves of PR 5 meeting).
+// ---------------------------------------------------------------------------
+
+// Every TCP connection is slow (p=1): frames go on the wire one byte per
+// drip interval, so no query ever completes — the client starves itself —
+// while the server's read deadline detects the stuck partial frame and
+// closes each connection. Goodput zero, crashes zero, books balanced on
+// both sides.
+TEST(FaultScenarios, SlowClientDripStarvesItselfAndHardenedServerEjectsIt) {
+  server::FrontendConfig fe;
+  fe.limits.read_deadline = 150 * kMilli;
+  fe.sweep_interval = 25 * kMilli;
+  auto bg = server::BackgroundServer::start(wildcard_server(), fe);
+  ASSERT_TRUE(bg.ok());
+  auto trace = fixed_trace(8, 2, Transport::Tcp);
+
+  replay::EngineConfig cfg;
+  cfg.server = (*bg)->endpoint();
+  cfg.timed = false;
+  cfg.distributors = 1;
+  cfg.queriers_per_distributor = 1;
+  cfg.max_retries = 0;
+  cfg.tcp_reconnect = false;  // a second slow connection proves nothing new
+  cfg.query_timeout = 400 * kMilli;
+  cfg.drain_grace = 5 * kSecond;
+  cfg.fault = spec_of("slow_client:1,drip:25ms,seed:1");
+  replay::QueryEngine engine(cfg);
+  auto report = engine.replay(trace);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+
+  EXPECT_EQ(report->queries_sent, trace.size());
+  EXPECT_EQ(report->responses_received, 0u);
+  EXPECT_EQ(report->lifecycle.expired, trace.size());
+
+  (*bg)->stop();
+  const auto& conns = (*bg)->connections();
+  EXPECT_GE(conns.accepted, 2u);  // one connection per source
+  EXPECT_GE(conns.deadline_closed, 1u)
+      << "read deadline never fired — were any bytes dripped?";
+  EXPECT_TRUE(conns.consistent()) << conns.summary();
+}
+
+// The knob is TCP-only by construction: a UDP replay under slow_client:1
+// is completely unaffected.
+TEST(FaultScenarios, SlowClientKnobLeavesUdpUntouched) {
+  auto bg = server::BackgroundServer::start(wildcard_server());
+  ASSERT_TRUE(bg.ok());
+  auto trace = fixed_trace(40, 4);
+
+  replay::EngineConfig cfg;
+  cfg.server = (*bg)->endpoint();
+  cfg.timed = false;
+  cfg.distributors = 1;
+  cfg.queriers_per_distributor = 1;
+  cfg.max_retries = 0;
+  cfg.query_timeout = 500 * kMilli;
+  cfg.drain_grace = 5 * kSecond;
+  cfg.fault = spec_of("slow_client:1,drip:10ms,seed:1");
+  replay::QueryEngine engine(cfg);
+  auto report = engine.replay(trace);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+
+  EXPECT_EQ(report->queries_sent, trace.size());
+  EXPECT_EQ(report->responses_received, trace.size());
+}
+
+// ---------------------------------------------------------------------------
 // Multi-controller equivalence: per-source outcomes are a function of the
 // seed alone, not of how sources are partitioned across controllers.
 // ---------------------------------------------------------------------------

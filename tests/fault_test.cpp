@@ -77,6 +77,39 @@ TEST(FaultSpecT, ToStringRoundTrips) {
   EXPECT_EQ(again->seed, spec->seed);
 }
 
+TEST(FaultSpecT, SlowClientKnobParsesAndRoundTrips) {
+  auto spec = parse_fault_spec("slow_client:0.3,drip:50ms,seed:7");
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  EXPECT_DOUBLE_EQ(spec->slow_client, 0.3);
+  EXPECT_EQ(spec->slow_drip, 50 * kMilli);
+  // A behaviour knob, not a link impairment: the stream stays transparent.
+  EXPECT_FALSE(spec->enabled());
+  auto again = parse_fault_spec(spec->to_string());
+  ASSERT_TRUE(again.ok()) << again.error().message;
+  EXPECT_DOUBLE_EQ(again->slow_client, spec->slow_client);
+  EXPECT_EQ(again->slow_drip, spec->slow_drip);
+}
+
+TEST(FaultSpecT, SlowClientVerdictIsSeedDeterministic) {
+  FaultSpec spec;
+  spec.seed = 42;
+  spec.slow_client = 0.4;
+  // Pure function of (seed, connection index): identical across calls, and
+  // edge probabilities short-circuit without touching the RNG.
+  for (uint64_t i = 0; i < 32; ++i)
+    EXPECT_EQ(spec.is_slow_client(i), spec.is_slow_client(i));
+  // Committed regression for seed 42: the slow set among the first 16.
+  std::vector<uint64_t> slow;
+  for (uint64_t i = 0; i < 16; ++i)
+    if (spec.is_slow_client(i)) slow.push_back(i);
+  EXPECT_EQ(slow, (std::vector<uint64_t>{0, 1, 2, 3, 4, 5, 6, 7, 13, 14}));
+
+  spec.slow_client = 0;
+  EXPECT_FALSE(spec.is_slow_client(3));
+  spec.slow_client = 1;
+  EXPECT_TRUE(spec.is_slow_client(3));
+}
+
 TEST(FaultSpecT, RejectsBadInput) {
   EXPECT_FALSE(parse_fault_spec("bogus:1").ok());
   EXPECT_FALSE(parse_fault_spec("loss").ok());          // no value
@@ -90,6 +123,8 @@ TEST(FaultSpecT, RejectsBadInput) {
   EXPECT_FALSE(parse_fault_spec("flap:100ms/100ms").ok());  // down == period
   EXPECT_FALSE(parse_fault_spec("flap:100ms/200ms").ok());  // down > period
   EXPECT_FALSE(parse_fault_spec("seed:notanumber").ok());
+  EXPECT_FALSE(parse_fault_spec("slow_client:1.5").ok());  // probability > 1
+  EXPECT_FALSE(parse_fault_spec("drip:0ms").ok());         // must be positive
 }
 
 // --- stream seeding ---------------------------------------------------------

@@ -92,6 +92,142 @@ TEST_P(WireFuzz, CompressionPointerAbuse) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Range(1, 6));
 
+// Hand-crafted hostile-name corpus: each case pins one decompression guard
+// in dns::Name::from_wire with an exact reject (or a boundary accept), so a
+// refactor that silently relaxes a bound fails here rather than only under
+// random fuzz luck.
+Result<Name> parse_name_at(std::span<const uint8_t> bytes, size_t at) {
+  ByteReader rd(bytes);
+  EXPECT_TRUE(rd.seek(at).ok());
+  return Name::from_wire(rd);
+}
+
+TEST(HostileNameCorpus, SelfPointerRejected) {
+  // A pointer targeting its own first byte: strictly-backward rule kills it.
+  std::vector<uint8_t> bytes{0xc0, 0x00};
+  auto name = parse_name_at(bytes, 0);
+  ASSERT_FALSE(name.ok());
+  EXPECT_NE(name.error().message.find("forward"), std::string::npos);
+}
+
+TEST(HostileNameCorpus, ForwardPointerRejected) {
+  std::vector<uint8_t> bytes{0xc0, 0x08, 0, 0, 0, 0, 0, 0, 0x00};
+  auto name = parse_name_at(bytes, 0);
+  ASSERT_FALSE(name.ok());
+  EXPECT_NE(name.error().message.find("forward"), std::string::npos);
+}
+
+TEST(HostileNameCorpus, MutualPointerLoopRejected) {
+  // 0 -> 2 and 2 -> 0: the second hop is non-backward, so the loop is cut
+  // on its first revisit rather than spinning until the hop cap.
+  std::vector<uint8_t> bytes{0xc0, 0x02, 0xc0, 0x00};
+  auto name = parse_name_at(bytes, 2);
+  ASSERT_FALSE(name.ok());
+}
+
+// Builds root at offset 0 and `count` chained pointers, each targeting the
+// previous one; returns the buffer (parse starts at the last pointer).
+std::vector<uint8_t> backward_pointer_chain(int count) {
+  ByteWriter w;
+  w.u8(0);  // offset 0: root
+  for (int i = 0; i < count; ++i) {
+    size_t target = (i == 0) ? 0 : static_cast<size_t>(1 + 2 * (i - 1));
+    w.u16(static_cast<uint16_t>(0xc000 | target));
+  }
+  return std::move(w).take();
+}
+
+TEST(HostileNameCorpus, PointerChainPastHopCapRejected) {
+  auto bytes = backward_pointer_chain(70);  // all-backward, but 70 hops
+  auto name = parse_name_at(bytes, bytes.size() - 2);
+  ASSERT_FALSE(name.ok());
+  EXPECT_NE(name.error().message.find("chain too long"), std::string::npos);
+}
+
+TEST(HostileNameCorpus, PointerChainWithinHopCapParses) {
+  auto bytes = backward_pointer_chain(60);
+  auto name = parse_name_at(bytes, bytes.size() - 2);
+  ASSERT_TRUE(name.ok()) << name.error().message;
+  EXPECT_TRUE(name->is_root());
+}
+
+// `sizes` label lengths followed by root, all filled with 'a'.
+std::vector<uint8_t> label_run(std::initializer_list<int> sizes) {
+  ByteWriter w;
+  for (int s : sizes) {
+    w.u8(static_cast<uint8_t>(s));
+    for (int i = 0; i < s; ++i) w.u8('a');
+  }
+  w.u8(0);
+  return std::move(w).take();
+}
+
+TEST(HostileNameCorpus, DecompressionPast255OctetsRejected) {
+  // 63+63+63+63 labels = 256 wire octets before the root byte.
+  auto bytes = label_run({63, 63, 63, 63});
+  auto name = parse_name_at(bytes, 0);
+  ASSERT_FALSE(name.ok());
+  EXPECT_NE(name.error().message.find("255"), std::string::npos);
+}
+
+TEST(HostileNameCorpus, Exactly255OctetNameParses) {
+  // 63+63+63+61 labels + root = exactly 255 octets: the legal maximum.
+  auto bytes = label_run({63, 63, 63, 61});
+  auto name = parse_name_at(bytes, 0);
+  ASSERT_TRUE(name.ok()) << name.error().message;
+  EXPECT_EQ(name->wire_length(), 255u);
+}
+
+TEST(HostileNameCorpus, ReservedLabelTypesRejected) {
+  for (uint8_t tag : {uint8_t{0x40}, uint8_t{0x80}}) {
+    std::vector<uint8_t> bytes{static_cast<uint8_t>(tag | 0x01), 'a', 0x00};
+    auto name = parse_name_at(bytes, 0);
+    ASSERT_FALSE(name.ok());
+    EXPECT_NE(name.error().message.find("label type"), std::string::npos);
+  }
+}
+
+TEST(HostileNameCorpus, TruncatedLabelRejected) {
+  std::vector<uint8_t> bytes{0x05, 'a', 'b'};  // claims 5, delivers 2
+  EXPECT_FALSE(parse_name_at(bytes, 0).ok());
+}
+
+TEST(HostileNameCorpus, ValidCompressedNameRoundTrips) {
+  // "example.com" at offset 2, then "www" + pointer back to it.
+  ByteWriter w;
+  w.u16(0);  // padding so the target is a genuine backward offset
+  w.u8(7);
+  for (char c : std::string_view("example")) w.u8(static_cast<uint8_t>(c));
+  w.u8(3);
+  for (char c : std::string_view("com")) w.u8(static_cast<uint8_t>(c));
+  w.u8(0);
+  size_t www_at = w.size();
+  w.u8(3);
+  for (char c : std::string_view("www")) w.u8(static_cast<uint8_t>(c));
+  w.u16(0xc000 | 2);  // pointer to "example.com"
+  auto bytes = std::move(w).take();
+  auto name = parse_name_at(bytes, www_at);
+  ASSERT_TRUE(name.ok()) << name.error().message;
+  EXPECT_EQ(name->to_string(), Name::parse("www.example.com")->to_string());
+}
+
+TEST(HostileNameCorpus, MessageWithPointerIntoHeaderTerminates) {
+  // A question name pointing into the fixed header: whatever those bytes
+  // decode to, parsing must terminate without crashing.
+  ByteWriter w;
+  w.u16(0x1234);
+  w.u16(0);
+  w.u16(1);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0xc000 | 0);  // name = pointer to offset 0 (the ID field)
+  w.u16(1);
+  w.u16(1);
+  auto parsed = Message::from_wire(w.data());
+  (void)parsed;  // ok or error; no crash, no hang
+}
+
 // Seed-corpus round-trip through the fault layer's corrupt impairment: the
 // exact byte-flipping the replay/proxy/server paths apply to live packets
 // must never crash the wire parser, and whatever still parses must

@@ -3,10 +3,16 @@
 // and serves them over UDP+TCP until interrupted.
 //
 //   ldp-server [--port N] [--timeout SECONDS] [--views views.conf]
-//              [--fault SPEC] <zone>...
+//              [--fault SPEC] [--limits SPEC] [--overload SPEC] <zone>...
 //
 // --fault impairs the reply path (egress), e.g. loss:0.05,seed:42 — see
 // ldp::fault for the full spec mini-language.
+//
+// --limits hardens the frontend (admission control + slow-client defense),
+// e.g. max-conns:64,quota:4,read-deadline:2s,max-partial:4096; --overload
+// sets the degradation policy, e.g. policy:refuse,high:48,low:32 — see
+// server/limits.hpp. Both use the same strict key:value mini-language as
+// --fault (unknown keys are errors).
 //
 // Without --views every zone lands in one catch-all view (a plain
 // authoritative server); with it, the split-horizon view set from the zone
@@ -49,6 +55,8 @@ int main(int argc, char** argv) {
   std::string views_path;
   std::vector<std::string> zone_paths;
   std::optional<fault::FaultSpec> fault_spec;
+  server::LimitsConfig limits;
+  server::OverloadConfig overload;
 
   for (int i = 1; i < argc; ++i) {
     std::string opt = argv[i];
@@ -65,10 +73,25 @@ int main(int argc, char** argv) {
         return 2;
       }
       fault_spec = *spec;
+    } else if (opt == "--limits" && i + 1 < argc) {
+      auto spec = server::parse_limits_spec(argv[++i]);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "bad --limits spec: %s\n", spec.error().message.c_str());
+        return 2;
+      }
+      limits = *spec;
+    } else if (opt == "--overload" && i + 1 < argc) {
+      auto spec = server::parse_overload_spec(argv[++i]);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "bad --overload spec: %s\n", spec.error().message.c_str());
+        return 2;
+      }
+      overload = *spec;
     } else if (opt.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--timeout SECONDS] [--views views.conf]"
-                   " [--fault SPEC] <zone-file>...\n",
+                   " [--fault SPEC] [--limits SPEC] [--overload SPEC]"
+                   " <zone-file>...\n",
                    argv[0]);
       return 2;
     } else {
@@ -142,9 +165,15 @@ int main(int argc, char** argv) {
   fe_cfg.bind = Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, port};
   fe_cfg.tcp_idle_timeout = timeout;
   fe_cfg.fault = fault_spec;
+  fe_cfg.limits = limits;
+  fe_cfg.overload = overload;
   if (fault_spec.has_value())
     std::fprintf(stderr, "reply-path impairment: %s\n",
                  fault_spec->to_string().c_str());
+  if (limits.any_enabled())
+    std::fprintf(stderr, "limits: %s\n", limits.to_string().c_str());
+  if (overload.enabled())
+    std::fprintf(stderr, "overload: %s\n", overload.to_string().c_str());
   auto frontend = server::ServerFrontend::start(loop, auth, fe_cfg);
   if (!frontend.ok()) {
     std::fprintf(stderr, "cannot start server: %s\n",
@@ -165,6 +194,8 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.queries.load()),
                static_cast<unsigned long long>(stats.refused.load()),
                static_cast<unsigned long long>(stats.nxdomain.load()));
+  std::fprintf(stderr, "connections: %s\n",
+               (*frontend)->connections().summary().c_str());
   if (fault_spec.has_value())
     std::fprintf(stderr, "impairments: %s\n",
                  (*frontend)->impairments().summary().c_str());
