@@ -1,11 +1,23 @@
 // Micro-benchmarks of the wire-format hot paths: message encode/decode,
 // name compression, zone lookup, and the §2.6 scheduler arithmetic. These
 // bound the per-query CPU cost of both the replay engine and the server.
+//
+// The hot-path ablations at the end compare each optimized path against the
+// code it replaced — allocating name decode vs in-place, full answer
+// pipeline vs template-cache hit, one-syscall-per-datagram UDP vs
+// sendmmsg batches — and record before/after numbers into
+// BENCH_ablation_codec.json (checked in; EXPERIMENTS.md has the re-record
+// recipe).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 #include "dns/message.hpp"
+#include "net/socket.hpp"
 #include "replay/schedule.hpp"
+#include "server/response_cache.hpp"
 
 using namespace ldp;
 
@@ -72,6 +84,36 @@ void BM_NameParse(benchmark::State& state) {
 }
 BENCHMARK(BM_NameParse);
 
+// Wire of a response whose answer-section names are compression pointers
+// back into the question — the shape the server parses per query.
+std::vector<uint8_t> compressed_wire() { return sample_response().to_wire(); }
+
+void BM_NameFromWire(benchmark::State& state) {
+  // Before: allocating decode (one std::string per label into a Name).
+  auto wire = compressed_wire();
+  for (auto _ : state) {
+    ByteReader rd(wire);
+    (void)rd.skip(12);
+    benchmark::DoNotOptimize(dns::Name::from_wire(rd));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NameFromWire);
+
+void BM_NameDecodeInPlace(benchmark::State& state) {
+  // After: in-place decode appending to a caller-owned reused buffer.
+  auto wire = compressed_wire();
+  std::string buf;
+  for (auto _ : state) {
+    ByteReader rd(wire);
+    (void)rd.skip(12);
+    buf.clear();
+    benchmark::DoNotOptimize(dns::decode_name_wire(rd, buf));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NameDecodeInPlace);
+
 void BM_ZoneLookup(benchmark::State& state) {
   auto server = bench::root_wildcard_server();
   dns::Message q = dns::Message::make_query(5, *dns::Name::parse("foo.example.com"),
@@ -83,6 +125,42 @@ void BM_ZoneLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZoneLookup);
+
+void BM_AnswerWireSlowPath(benchmark::State& state) {
+  // Before: full parse -> lookup -> render pipeline per query.
+  auto server = bench::root_wildcard_server();
+  auto wire = dns::Message::make_query(5, *dns::Name::parse("foo.example.com"),
+                                       dns::RRType::A)
+                  .to_wire();
+  IpAddr client{Ip4{10, 0, 0, 9}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.answer_wire(wire, client, 512));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnswerWireSlowPath);
+
+void BM_ResponseCacheHit(benchmark::State& state) {
+  // After: template-cache hit (key build + ID/RD patch into reused buffer).
+  auto server = bench::root_wildcard_server();
+  auto wire = dns::Message::make_query(5, *dns::Name::parse("foo.example.com"),
+                                       dns::RRType::A)
+                  .to_wire();
+  IpAddr client{Ip4{10, 0, 0, 9}};
+  server::ResponseCache cache(16);
+  cache.sync_revision(1);
+  std::vector<uint8_t> reply;
+  bool nxdomain = false;
+  if (cache.probe(wire, 512, reply, nxdomain) == server::ResponseCache::Outcome::Miss) {
+    auto rendered = server.answer_wire(wire, client, 512);
+    if (rendered.has_value()) cache.insert(*rendered);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.probe(wire, 512, reply, nxdomain));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResponseCacheHit);
 
 void BM_SchedulerDelayMath(benchmark::State& state) {
   replay::ReplayClock clock;
@@ -118,6 +196,138 @@ void BM_DnssecSigningOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_DnssecSigningOverhead)->Arg(1024)->Arg(2048)->Arg(4096);
 
+// ---------------------------------------------------------------------------
+// Self-timed before/after ablations recorded into BENCH_ablation_codec.json.
+// (Self-timed rather than scraped from the benchmark reporter so the JSON
+// stays a deterministic three-row artifact.)
+
+template <typename Fn>
+double ns_per_op(size_t iters, Fn&& fn) {
+  for (size_t i = 0; i < iters / 10 + 1; ++i) fn();  // warm-up
+  TimeNs t0 = mono_now_ns();
+  for (size_t i = 0; i < iters; ++i) fn();
+  return static_cast<double>(mono_now_ns() - t0) / static_cast<double>(iters);
+}
+
+bench::JsonObject ablation_row(const char* before_name, double before_ns,
+                               const char* after_name, double after_ns) {
+  bench::JsonObject row;
+  row.field("before", std::string(before_name))
+      .field("before_ns_per_op", before_ns)
+      .field("after", std::string(after_name))
+      .field("after_ns_per_op", after_ns)
+      .field("speedup", after_ns > 0 ? before_ns / after_ns : 0.0);
+  return row;
+}
+
+bench::JsonObject ablate_name_decode() {
+  auto wire = compressed_wire();
+  double before = ns_per_op(400000, [&] {
+    ByteReader rd(wire);
+    (void)rd.skip(12);
+    benchmark::DoNotOptimize(dns::Name::from_wire(rd));
+  });
+  std::string buf;
+  double after = ns_per_op(400000, [&] {
+    ByteReader rd(wire);
+    (void)rd.skip(12);
+    buf.clear();
+    benchmark::DoNotOptimize(dns::decode_name_wire(rd, buf));
+  });
+  return ablation_row("Name::from_wire (per-label alloc)", before,
+                      "decode_name_wire (in-place)", after);
+}
+
+bench::JsonObject ablate_response_path() {
+  auto server = bench::root_wildcard_server();
+  auto wire = dns::Message::make_query(5, *dns::Name::parse("foo.example.com"),
+                                       dns::RRType::A)
+                  .to_wire();
+  IpAddr client{Ip4{10, 0, 0, 9}};
+  double before = ns_per_op(100000, [&] {
+    benchmark::DoNotOptimize(server.answer_wire(wire, client, 512));
+  });
+  server::ResponseCache cache(16);
+  cache.sync_revision(1);
+  std::vector<uint8_t> reply;
+  bool nxdomain = false;
+  if (cache.probe(wire, 512, reply, nxdomain) == server::ResponseCache::Outcome::Miss) {
+    auto rendered = server.answer_wire(wire, client, 512);
+    if (rendered.has_value()) cache.insert(*rendered);
+  }
+  double after = ns_per_op(100000, [&] {
+    benchmark::DoNotOptimize(cache.probe(wire, 512, reply, nxdomain));
+  });
+  return ablation_row("answer_wire (parse+lookup+render)", before,
+                      "template-cache hit (ID/RD patch)", after);
+}
+
+bench::JsonObject ablate_udp_send() {
+  // Sender/receiver pair on loopback; the receiver drains after every
+  // burst so kernel buffers never fill and both paths pay the same drain.
+  auto tx = net::UdpSocket::create();
+  auto rx = net::UdpSocket::bind(Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, 0});
+  if (!tx.ok() || !rx.ok()) return bench::JsonObject{};
+  Endpoint dst = *rx->local_endpoint();
+  std::vector<uint8_t> payload(64, 0xab);
+  const size_t kBurst = net::UdpSocket::kBatchSize;
+
+  net::IoCounters c0 = net::io_counters();
+  double before = ns_per_op(2000, [&] {
+    for (size_t i = 0; i < kBurst; ++i) (void)tx->send_to(dst, payload);
+    while (true) {
+      auto batch = rx->recv_batch();
+      if (!batch.ok() || batch->empty()) break;
+    }
+  });
+  net::IoCounters c1 = net::io_counters();
+  std::vector<net::UdpSocket::OutDatagram> dgs(kBurst,
+                                               net::UdpSocket::OutDatagram{dst, payload});
+  double after = ns_per_op(2000, [&] {
+    (void)tx->send_batch(dgs);
+    while (true) {
+      auto batch = rx->recv_batch();
+      if (!batch.ok() || batch->empty()) break;
+    }
+  });
+  net::IoCounters c2 = net::io_counters();
+
+  double send_calls_before =
+      static_cast<double>((c1.sendto_calls - c0.sendto_calls) +
+                          (c1.sendmmsg_calls - c0.sendmmsg_calls)) /
+      static_cast<double>(c1.datagrams_sent - c0.datagrams_sent);
+  double send_calls_after =
+      static_cast<double>((c2.sendto_calls - c1.sendto_calls) +
+                          (c2.sendmmsg_calls - c1.sendmmsg_calls)) /
+      static_cast<double>(c2.datagrams_sent - c1.datagrams_sent);
+
+  bench::JsonObject row = ablation_row(
+      "16x send_to (one syscall each)", before / static_cast<double>(kBurst),
+      "send_batch of 16 (one sendmmsg)", after / static_cast<double>(kBurst));
+  row.field("before_send_syscalls_per_datagram", send_calls_before)
+      .field("after_send_syscalls_per_datagram", send_calls_after)
+      .field("note", std::string("ns_per_op is per datagram incl. receiver drain"));
+  return row;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  // A single trailing non-flag argument overrides the JSON output path.
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_ablation_codec.json";
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::JsonObject report;
+  report.field("bench", std::string("ablation_codec"))
+      .field("name_decode", ablate_name_decode())
+      .field("response_path", ablate_response_path())
+      .field("udp_send", ablate_udp_send());
+  if (!bench::write_json_file(json_path, report)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path);
+    return 1;
+  }
+  std::printf("\nrecorded: %s\n", json_path);
+  return 0;
+}

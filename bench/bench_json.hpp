@@ -1,0 +1,91 @@
+// Minimal JSON emission for benches that record before/after numbers into
+// checked-in BENCH_*.json files (the hot-path acceptance artifacts). Not a
+// general serializer: flat objects, arrays of objects, numbers and strings
+// — exactly what the bench reports need, with stable key order so diffs of
+// re-recorded numbers stay reviewable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ldp::bench {
+
+/// Build one JSON object as an ordered key/value list.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    items_.push_back(quote(key) + ": " + buf);
+    return *this;
+  }
+  JsonObject& field(const std::string& key, uint64_t value) {
+    items_.push_back(quote(key) + ": " + std::to_string(value));
+    return *this;
+  }
+  JsonObject& field(const std::string& key, const std::string& value) {
+    items_.push_back(quote(key) + ": " + quote(value));
+    return *this;
+  }
+  JsonObject& field(const std::string& key, const JsonObject& value) {
+    items_.push_back(quote(key) + ": " + value.str());
+    return *this;
+  }
+  JsonObject& field(const std::string& key, const std::vector<JsonObject>& arr) {
+    std::string out = quote(key) + ": [";
+    for (size_t i = 0; i < arr.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += arr[i].str();
+    }
+    out += "]";
+    items_.push_back(std::move(out));
+    return *this;
+  }
+
+  std::string str() const {
+    std::string out = "{";
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += items_[i];
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Multi-line render for top-level report files (one field per line).
+  std::string pretty() const {
+    std::string out = "{\n";
+    for (size_t i = 0; i < items_.size(); ++i) {
+      out += "  " + items_[i];
+      if (i + 1 < items_.size()) out += ",";
+      out += "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\"";
+    return out;
+  }
+  std::vector<std::string> items_;
+};
+
+/// Write `obj` to `path` (pretty form). Returns false on I/O failure.
+inline bool write_json_file(const std::string& path, const JsonObject& obj) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string body = obj.pretty();
+  size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return n == body.size();
+}
+
+}  // namespace ldp::bench

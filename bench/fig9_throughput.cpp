@@ -1,4 +1,5 @@
-// Figure 9: single-host fast-replay throughput over UDP.
+// Figure 9: single-host fast-replay throughput over UDP, before/after the
+// batched hot path.
 //
 // Streams a continuous batch of identical queries (www.example.com, §4.3)
 // through the query engine in fast mode (no timers) against the loopback
@@ -6,17 +7,153 @@
 // reaches 87k q/s (60 Mb/s) on a 4-core host with the generator as the
 // bottleneck; a single shared core reaches proportionally less — the flat
 // steady-state shape is the claim under test.
+//
+// Two phases share the workload: "scalar" (one syscall per datagram, no
+// response cache) and "batched" (sendmmsg/recvmmsg + template cache, the
+// defaults). Each phase snapshots the process-wide net::IoCounters so the
+// kernel-crossing cost per query is measured, not inferred — the server
+// runs in-process, so the deltas cover both sides of every exchange. The
+// before/after numbers land in BENCH_fig9_throughput.json (checked in; see
+// EXPERIMENTS.md for the re-record recipe).
 #include <cstdio>
 
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
+#include "net/socket.hpp"
 #include "replay/engine.hpp"
 #include "server/background.hpp"
 
 using namespace ldp;
 
-int main() {
-  auto bg = server::BackgroundServer::start(bench::root_wildcard_server());
-  if (!bg.ok()) return 1;
+namespace {
+
+struct PhaseResult {
+  double duration_s = 0;
+  double rate_qps = 0;
+  double mbps = 0;
+  double syscalls_per_query = 0;
+  uint64_t queries_sent = 0;
+  uint64_t responses_received = 0;
+  uint64_t server_answered = 0;
+  uint64_t cache_hits = 0;
+  net::IoCounters io;  ///< deltas over the phase
+  metrics::LifecycleCounters lifecycle;
+  uint64_t max_in_flight = 0;
+};
+
+net::IoCounters io_delta(const net::IoCounters& before, const net::IoCounters& after) {
+  net::IoCounters d;
+  d.sendto_calls = after.sendto_calls - before.sendto_calls;
+  d.recvfrom_calls = after.recvfrom_calls - before.recvfrom_calls;
+  d.sendmmsg_calls = after.sendmmsg_calls - before.sendmmsg_calls;
+  d.recvmmsg_calls = after.recvmmsg_calls - before.recvmmsg_calls;
+  d.datagrams_sent = after.datagrams_sent - before.datagrams_sent;
+  d.datagrams_received = after.datagrams_received - before.datagrams_received;
+  return d;
+}
+
+PhaseResult run_phase(bool batched, const std::vector<trace::TraceRecord>& batch,
+                      size_t query_bytes, TimeNs budget) {
+  PhaseResult out;
+  // Fresh server per phase so the template cache and stats start cold and
+  // the scalar phase cannot ride on batched-phase state.
+  server::FrontendConfig fc;
+  fc.batched_udp = batched;
+  fc.response_cache_entries = batched ? 1024 : 0;
+  auto bg = server::BackgroundServer::start(bench::root_wildcard_server(), fc);
+  if (!bg.ok()) return out;
+
+  std::printf("  -- %s path --\n", batched ? "batched" : "scalar");
+  std::printf("  %-8s %12s %12s\n", "t(s)", "rate(q/s)", "Mbit/s");
+  net::IoCounters before = net::io_counters();
+  TimeNs phase_start = mono_now_ns();
+  TimeNs last_mark = phase_start;
+  uint64_t last_total = 0;
+
+  while (mono_now_ns() - phase_start < budget) {
+    replay::EngineConfig cfg;
+    cfg.server = (*bg)->endpoint();
+    cfg.timed = false;
+    cfg.distributors = 1;
+    cfg.queriers_per_distributor = 2;
+    cfg.drain_grace = 100 * kMilli;
+    cfg.batched_io = batched;
+    replay::QueryEngine engine(cfg);
+    auto report = engine.replay(batch);
+    if (!report.ok()) break;
+    out.queries_sent += report->queries_sent;
+    out.responses_received += report->responses_received;
+    out.lifecycle.merge(report->lifecycle);
+    out.max_in_flight = std::max(out.max_in_flight, report->max_in_flight);
+
+    TimeNs now = mono_now_ns();
+    if (now - last_mark >= 2 * kSecond) {
+      double dt = ns_to_sec(now - last_mark);
+      double rate = static_cast<double>(out.queries_sent - last_total) / dt;
+      std::printf("  %8.1f %12.0f %12.1f\n", ns_to_sec(now - phase_start), rate,
+                  rate * static_cast<double>(query_bytes + 28) * 8 / 1e6);
+      last_mark = now;
+      last_total = out.queries_sent;
+    }
+  }
+  out.io = io_delta(before, net::io_counters());
+  out.duration_s = ns_to_sec(mono_now_ns() - phase_start);
+  out.rate_qps = static_cast<double>(out.queries_sent) / out.duration_s;
+  out.mbps = out.rate_qps * static_cast<double>(query_bytes + 28) * 8 / 1e6;
+  (*bg)->stop();  // quiesce before reading non-atomic cache stats
+  out.server_answered = (*bg)->auth().stats().queries.load();
+  if (const auto* cache = (*bg)->frontend().response_cache())
+    out.cache_hits = cache->stats().hits;
+  if (out.queries_sent > 0)
+    out.syscalls_per_query =
+        static_cast<double>(out.io.syscalls()) / static_cast<double>(out.queries_sent);
+
+  std::printf("  overall: %.0f q/s over %.1f s;  syscalls/query %.3f"
+              "  (sendto %llu recvfrom %llu sendmmsg %llu recvmmsg %llu)\n",
+              out.rate_qps, out.duration_s, out.syscalls_per_query,
+              static_cast<unsigned long long>(out.io.sendto_calls),
+              static_cast<unsigned long long>(out.io.recvfrom_calls),
+              static_cast<unsigned long long>(out.io.sendmmsg_calls),
+              static_cast<unsigned long long>(out.io.recvmmsg_calls));
+  std::printf("  client lifecycle: answered %llu  lost %llu  retries %llu"
+              "  deferred-sends %llu  max-in-flight %llu\n",
+              static_cast<unsigned long long>(out.responses_received),
+              static_cast<unsigned long long>(out.lifecycle.expired),
+              static_cast<unsigned long long>(out.lifecycle.retries),
+              static_cast<unsigned long long>(out.lifecycle.deferred_sends),
+              static_cast<unsigned long long>(out.max_in_flight));
+  std::printf("  server answered: %llu (template-cache hits %llu)\n",
+              static_cast<unsigned long long>(out.server_answered),
+              static_cast<unsigned long long>(out.cache_hits));
+  return out;
+}
+
+bench::JsonObject phase_json(const PhaseResult& r) {
+  bench::JsonObject io;
+  io.field("sendto_calls", r.io.sendto_calls)
+      .field("recvfrom_calls", r.io.recvfrom_calls)
+      .field("sendmmsg_calls", r.io.sendmmsg_calls)
+      .field("recvmmsg_calls", r.io.recvmmsg_calls)
+      .field("datagrams_sent", r.io.datagrams_sent)
+      .field("datagrams_received", r.io.datagrams_received);
+  bench::JsonObject obj;
+  obj.field("duration_s", r.duration_s)
+      .field("rate_qps", r.rate_qps)
+      .field("mbit_per_s", r.mbps)
+      .field("syscalls_per_query", r.syscalls_per_query)
+      .field("queries_sent", r.queries_sent)
+      .field("responses_received", r.responses_received)
+      .field("server_answered", r.server_answered)
+      .field("template_cache_hits", r.cache_hits)
+      .field("max_in_flight", r.max_in_flight)
+      .field("io_counters", io);
+  return obj;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_fig9_throughput.json";
 
   bench::print_header("Figure 9", "fast replay throughput (UDP, no timer events)");
 
@@ -40,63 +177,35 @@ int main() {
     batch.push_back(std::move(rec));
   }
 
-  std::printf("  %-8s %12s %12s\n", "t(s)", "rate(q/s)", "Mbit/s");
-  TimeNs bench_start = mono_now_ns();
-  uint64_t total = 0;
-  TimeNs last_mark = bench_start;
-  uint64_t last_total = 0;
-  metrics::LifecycleCounters lifecycle;
-  uint64_t answered_total = 0, max_in_flight = 0;
+  PhaseResult scalar = run_phase(false, batch, query_bytes, 8 * kSecond);
+  PhaseResult batched = run_phase(true, batch, query_bytes, 8 * kSecond);
 
-  // Run repeated fast-mode batches for ~20 s, sampling every ~2 s.
-  while (mono_now_ns() - bench_start < 20 * kSecond) {
-    replay::EngineConfig cfg;
-    cfg.server = (*bg)->endpoint();
-    cfg.timed = false;
-    cfg.distributors = 1;
-    cfg.queriers_per_distributor = 2;
-    cfg.drain_grace = 100 * kMilli;
-    replay::QueryEngine engine(cfg);
-    auto report = engine.replay(batch);
-    if (!report.ok()) break;
-    total += report->queries_sent;
-    answered_total += report->responses_received;
-    lifecycle.merge(report->lifecycle);
-    max_in_flight = std::max(max_in_flight, report->max_in_flight);
-
-    TimeNs now = mono_now_ns();
-    if (now - last_mark >= 2 * kSecond) {
-      double dt = ns_to_sec(now - last_mark);
-      double rate = static_cast<double>(total - last_total) / dt;
-      double mbps = rate * static_cast<double>(query_bytes + 28) * 8 / 1e6;
-      std::printf("  %8.1f %12.0f %12.1f\n", ns_to_sec(now - bench_start), rate, mbps);
-      last_mark = now;
-      last_total = total;
-    }
-  }
-  double total_dt = ns_to_sec(mono_now_ns() - bench_start);
-  std::printf("  overall: %.0f q/s sent over %.1f s (%zu-byte queries)\n",
-              static_cast<double>(total) / total_dt, total_dt, query_bytes);
-  // Loss accounting across all batches: fast-mode floods legitimately lose
-  // queries to loopback buffer overruns; the counters make that loss
-  // explicit instead of leaving it implied by the server-side rate gap.
-  std::printf(
-      "  client lifecycle: answered %llu  lost %llu  timeouts %llu  retries %llu"
-      "  deferred-sends %llu  max-in-flight %llu\n",
-      static_cast<unsigned long long>(answered_total),
-      static_cast<unsigned long long>(lifecycle.expired),
-      static_cast<unsigned long long>(lifecycle.timeouts),
-      static_cast<unsigned long long>(lifecycle.retries),
-      static_cast<unsigned long long>(lifecycle.deferred_sends),
-      static_cast<unsigned long long>(max_in_flight));
-  // Server-side view: what actually got through and was answered (fast-mode
-  // UDP floods overrun loopback buffers; the paper measures at the server).
-  uint64_t answered = (*bg)->auth().stats().queries.load();
-  std::printf("  server answered: %llu (%.0f q/s)\n",
-              static_cast<unsigned long long>(answered),
-              static_cast<double>(answered) / total_dt);
+  double speedup = scalar.rate_qps > 0 ? batched.rate_qps / scalar.rate_qps : 0;
+  double syscall_cut = batched.syscalls_per_query > 0
+      ? scalar.syscalls_per_query / batched.syscalls_per_query : 0;
+  std::printf("\n  batched vs scalar: %.2fx throughput, %.1fx fewer syscalls/query"
+              " (%.3f -> %.3f)\n",
+              speedup, syscall_cut, scalar.syscalls_per_query,
+              batched.syscalls_per_query);
   std::printf(
       "\n  Paper reference: 87k q/s (60 Mb/s) sustained flat for 5 minutes on a\n"
       "  4-core host, generator saturating one core.\n");
+
+  bench::JsonObject report;
+  report.field("bench", std::string("fig9_throughput"))
+      .field("workload",
+             std::string("200k identical www.example.com/A UDP queries, 6 sources, "
+                         "fast mode, repeated for ~8s per phase, loopback in-process "
+                         "server (io counters cover both sides)"))
+      .field("query_bytes", static_cast<uint64_t>(query_bytes))
+      .field("scalar", phase_json(scalar))
+      .field("batched", phase_json(batched))
+      .field("throughput_speedup", speedup)
+      .field("syscalls_per_query_reduction", syscall_cut);
+  if (!bench::write_json_file(json_path, report)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path);
+    return 1;
+  }
+  std::printf("  recorded: %s\n", json_path);
   return 0;
 }

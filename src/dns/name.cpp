@@ -12,6 +12,52 @@ constexpr size_t kMaxWire = 255;
 constexpr int kMaxPointerHops = 64;  // defends against pointer loops
 
 char lower(char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); }
+
+// Shared wire-format label walk behind Name::from_wire and
+// decode_name_wire: compression-pointer chasing with the loop/expansion
+// hardening documented at the pointer branch below. `sink` is invoked once
+// per label with the raw (original-case) bytes; both decoders layer their
+// own storage on top so the hostile-input defenses cannot drift apart.
+template <typename Sink>
+Result<void> walk_wire_name(ByteReader& rd, Sink&& sink) {
+  size_t resume_pos = 0;  // position after the first pointer, 0 = none yet
+  int hops = 0;
+  size_t expanded = 0;  // decompressed octets, counted before buffering
+
+  while (true) {
+    uint8_t len = LDP_TRY(rd.u8());
+    if (len == 0) break;
+    uint8_t tag = len & 0xc0;
+    if (tag == 0xc0) {
+      // Compression pointer: 14-bit offset from message start. Each hop
+      // must land strictly before the pointer itself, so chains always move
+      // toward the message start and can never revisit a position — loops
+      // (including self-pointers) and forward references are both rejected
+      // by the same check. The hop cap is defense in depth on top of that:
+      // even an all-backward chain packed 2 bytes apart terminates early.
+      uint8_t low = LDP_TRY(rd.u8());
+      size_t target = static_cast<size_t>(len & 0x3f) << 8 | low;
+      if (++hops > kMaxPointerHops) return Err("compression pointer chain too long");
+      if (resume_pos == 0) resume_pos = rd.pos();
+      if (target >= rd.pos() - 2)
+        return Err("forward compression pointer");
+      LDP_TRY_VOID(rd.seek(target));
+      continue;
+    }
+    if (tag != 0) return Err("unsupported label type");
+    // Cap the total decompressed size before buffering label bytes, so a
+    // hostile chain re-using long labels is cut off at the wire limit no
+    // matter how it was assembled.
+    expanded += static_cast<size_t>(len) + 1;
+    if (expanded + 1 > kMaxWire) return Err("name decompresses past 255 octets");
+    auto bytes = LDP_TRY(rd.bytes(len));
+    LDP_TRY_VOID(sink(
+        std::string_view(reinterpret_cast<const char*>(bytes.data()), bytes.size())));
+  }
+  if (resume_pos != 0) LDP_TRY_VOID(rd.seek(resume_pos));
+  return Ok();
+}
+
 }  // namespace
 
 Result<void> Name::append_label(std::string_view label) {
@@ -70,42 +116,24 @@ Result<Name> Name::parse(std::string_view text) {
 
 Result<Name> Name::from_wire(ByteReader& rd) {
   Name name;
-  size_t resume_pos = 0;  // position after the first pointer, 0 = none yet
-  int hops = 0;
-  size_t expanded = 0;  // decompressed octets, counted before append
-
-  while (true) {
-    uint8_t len = LDP_TRY(rd.u8());
-    if (len == 0) break;
-    uint8_t tag = len & 0xc0;
-    if (tag == 0xc0) {
-      // Compression pointer: 14-bit offset from message start. Each hop
-      // must land strictly before the pointer itself, so chains always move
-      // toward the message start and can never revisit a position — loops
-      // (including self-pointers) and forward references are both rejected
-      // by the same check. The hop cap is defense in depth on top of that:
-      // even an all-backward chain packed 2 bytes apart terminates early.
-      uint8_t low = LDP_TRY(rd.u8());
-      size_t target = static_cast<size_t>(len & 0x3f) << 8 | low;
-      if (++hops > kMaxPointerHops) return Err("compression pointer chain too long");
-      if (resume_pos == 0) resume_pos = rd.pos();
-      if (target >= rd.pos() - 2)
-        return Err("forward compression pointer");
-      LDP_TRY_VOID(rd.seek(target));
-      continue;
-    }
-    if (tag != 0) return Err("unsupported label type");
-    // Cap the total decompressed size before buffering label bytes, so a
-    // hostile chain re-using long labels is cut off at the wire limit no
-    // matter how it was assembled.
-    expanded += static_cast<size_t>(len) + 1;
-    if (expanded + 1 > kMaxWire) return Err("name decompresses past 255 octets");
-    auto bytes = LDP_TRY(rd.bytes(len));
-    LDP_TRY_VOID(name.append_label(
-        std::string_view(reinterpret_cast<const char*>(bytes.data()), bytes.size())));
-  }
-  if (resume_pos != 0) LDP_TRY_VOID(rd.seek(resume_pos));
+  LDP_TRY_VOID(walk_wire_name(
+      rd, [&name](std::string_view label) { return name.append_label(label); }));
   return name;
+}
+
+Result<void> decode_name_wire(ByteReader& rd, std::string& out) {
+  size_t start = out.size();
+  auto r = walk_wire_name(rd, [&out](std::string_view label) -> Result<void> {
+    out.push_back(static_cast<char>(label.size()));
+    for (char c : label) out.push_back(lower(c));
+    return Ok();
+  });
+  if (!r.ok()) {
+    out.resize(start);  // leave the caller's buffer as it was handed in
+    return r;
+  }
+  out.push_back('\0');  // root byte
+  return Ok();
 }
 
 std::string_view Name::label(size_t i) const {

@@ -89,4 +89,14 @@ struct NameHash {
   size_t operator()(const Name& n) const { return n.hash(); }
 };
 
+/// Allocation-free wire decode for hot paths: appends the name's
+/// *uncompressed, lowercased* wire encoding (length-prefixed labels + root
+/// byte) to `out`, following compression pointers with the same hardening
+/// as Name::from_wire (both share one label walker, so the hostile-input
+/// defenses cannot drift apart). The caller owns and reuses the buffer;
+/// steady-state decoding touches no allocator. On failure `out` is restored
+/// to its incoming length. The cursor ends just past the name's encoding,
+/// exactly like Name::from_wire.
+Result<void> decode_name_wire(ByteReader& rd, std::string& out);
+
 }  // namespace ldp::dns

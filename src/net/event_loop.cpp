@@ -126,8 +126,17 @@ void EventLoop::fire_due_timers() {
   arm_timerfd();
 }
 
+void EventLoop::add_flush_hook(std::function<void()> hook) {
+  flush_hooks_.push_back(std::move(hook));
+}
+
 void EventLoop::poll_once(TimeNs max_wait) {
   fire_due_timers();
+
+  // Flush staged output before blocking: everything staged by the previous
+  // round's fd callbacks / trailing timers and by the leading timers above
+  // drains here, so epoll_wait never blocks on top of unsent work.
+  for (const auto& hook : flush_hooks_) hook();
 
   int timeout_ms = -1;
   if (max_wait >= 0) timeout_ms = static_cast<int>((max_wait + kMilli - 1) / kMilli);

@@ -79,6 +79,14 @@ class EventLoop {
   }
   void cancel_timer(TimerId id);
 
+  /// Register a flush hook: runs once per poll round, after due timers and
+  /// before the loop blocks in epoll_wait. This is the drain point for work
+  /// staged during the previous round's callbacks and timers — the batched
+  /// UDP senders stage datagrams as events arrive and flush them here, so a
+  /// staged send can never sit across a blocking wait. Hooks cannot be
+  /// removed; register them for the loop's lifetime.
+  void add_flush_hook(std::function<void()> hook);
+
   /// Run callbacks until stop() or until nothing is registered.
   void run();
   /// Process at most one poll round (used by tests and hybrid drivers).
@@ -114,6 +122,7 @@ class EventLoop {
   // Cancellation removes the callback entry; the heap node is discarded
   // lazily when it surfaces.
   std::unordered_map<TimerId, TimerCallback> timer_callbacks_;
+  std::vector<std::function<void()>> flush_hooks_;
   TimerId next_timer_id_ = 1;
   std::atomic<bool> stopped_{false};
 };

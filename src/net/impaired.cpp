@@ -9,13 +9,12 @@ Result<bool> ImpairedUdpSocket::send_to(const Endpoint& dst,
   fault::Verdict v = stream_->next(mono_now_ns());
   if (v.is_drop()) return true;  // the link ate it; to the caller it left
 
-  std::vector<uint8_t> bytes(payload.begin(), payload.end());
-  if (v.action == fault::Action::Corrupt) stream_->corrupt(bytes);
-
   if (v.extra_delay > 0 && loop_ != nullptr) {
-    // Held by the link: deliver from a timer. Delivery failures at that
-    // point are indistinguishable from loss, which is exactly what a
-    // delayed-then-dropped packet is.
+    // Held by the link: deliver from a timer (which needs an owned copy).
+    // Delivery failures at that point are indistinguishable from loss,
+    // which is exactly what a delayed-then-dropped packet is.
+    std::vector<uint8_t> bytes(payload.begin(), payload.end());
+    if (v.action == fault::Action::Corrupt) stream_->corrupt(bytes);
     size_t copies = v.action == fault::Action::Duplicate ? 2 : 1;
     loop_->add_timer_after(v.extra_delay,
                            [this, dst, bytes = std::move(bytes), copies] {
@@ -25,13 +24,82 @@ Result<bool> ImpairedUdpSocket::send_to(const Endpoint& dst,
     return true;
   }
 
-  auto sent = LDP_TRY(sock_.send_to(dst, bytes));
+  if (v.action == fault::Action::Corrupt) {
+    // Corruption must not touch the caller's bytes (they may be retried).
+    std::vector<uint8_t> bytes(payload.begin(), payload.end());
+    stream_->corrupt(bytes);
+    return sock_.send_to(dst, bytes);
+  }
+
+  // Plain deliver (the common case) forwards the caller's bytes zero-copy.
+  auto sent = LDP_TRY(sock_.send_to(dst, payload));
   if (v.action == fault::Action::Duplicate && sent) {
     // Best-effort second copy; a full kernel buffer just drops the dup,
     // which is fine — duplication is an impairment, not a guarantee.
-    (void)sock_.send_to(dst, bytes);
+    (void)sock_.send_to(dst, payload);
   }
   return sent;
+}
+
+Result<void> ImpairedUdpSocket::send_batch(
+    std::span<const UdpSocket::OutDatagram> dgs, std::vector<uint8_t>& wire_out) {
+  wire_out.assign(dgs.size(), 0);
+  if (stream_ == nullptr) {
+    size_t accepted = LDP_TRY(sock_.send_batch(dgs));
+    std::fill(wire_out.begin(), wire_out.begin() + static_cast<long>(accepted), 1);
+    return Ok();
+  }
+
+  // Draw one verdict per input datagram up front, in input order — the
+  // scalar path consumes its draw before touching the kernel, so the batch
+  // must consume the whole schedule regardless of what sendmmsg later
+  // accepts. Survivors become wire entries for one chunked sendmmsg pass.
+  entries_.clear();
+  entry_owner_.clear();
+  corrupt_scratch_.clear();
+  for (size_t i = 0; i < dgs.size(); ++i) {
+    fault::Verdict v = stream_->next(mono_now_ns());
+    if (v.is_drop()) {
+      wire_out[i] = 1;  // the link ate it; to the caller it left
+      continue;
+    }
+    std::span<const uint8_t> bytes = dgs[i].payload;
+    if (v.action == fault::Action::Corrupt) {
+      corrupt_scratch_.emplace_back(bytes.begin(), bytes.end());
+      stream_->corrupt(corrupt_scratch_.back());
+      bytes = corrupt_scratch_.back();
+    }
+    if (v.extra_delay > 0 && loop_ != nullptr) {
+      size_t copies = v.action == fault::Action::Duplicate ? 2 : 1;
+      loop_->add_timer_after(
+          v.extra_delay,
+          [this, dst = dgs[i].dst,
+           held = std::vector<uint8_t>(bytes.begin(), bytes.end()), copies] {
+            for (size_t c = 0; c < copies; ++c) (void)sock_.send_to(dst, held);
+          });
+      wire_out[i] = 1;
+      continue;
+    }
+    entries_.push_back(UdpSocket::OutDatagram{dgs[i].dst, bytes});
+    entry_owner_.push_back(i);
+    if (v.action == fault::Action::Duplicate) {
+      // Adjacent second copy, best-effort like the scalar path: if the
+      // kernel's accepted prefix ends on it, only the dup is lost.
+      entries_.push_back(UdpSocket::OutDatagram{dgs[i].dst, bytes});
+      entry_owner_.push_back(kDupEntry);
+    }
+  }
+
+  size_t accepted = 0;
+  if (!entries_.empty()) {
+    auto sent = sock_.send_batch(entries_);
+    if (!sent.ok()) return sent.error();
+    accepted = *sent;
+  }
+  for (size_t e = 0; e < accepted; ++e) {
+    if (entry_owner_[e] != kDupEntry) wire_out[entry_owner_[e]] = 1;
+  }
+  return Ok();
 }
 
 TcpSendOutcome impaired_tcp_send(TcpStream& tcp, fault::FaultStream* stream,

@@ -39,13 +39,37 @@ class ImpairedUdpSocket {
   /// the link ate it.
   Result<bool> send_to(const Endpoint& dst, std::span<const uint8_t> payload);
 
+  /// Batched send_to: one fault draw per datagram, consumed in input order —
+  /// exactly the sequence the scalar path would draw for the same sends —
+  /// regardless of how many sendmmsg calls the batch spans, so fixed-seed
+  /// impairment counters are identical between the scalar and batched paths.
+  /// `wire_out[i]` mirrors send_to's bool: true when datagram i left (or the
+  /// link ate it), false when the kernel buffer was full and the datagram is
+  /// still the caller's to retry. On a hard socket error no wire entry was
+  /// accepted by the kernel; the draws were still consumed.
+  Result<void> send_batch(std::span<const UdpSocket::OutDatagram> dgs,
+                          std::vector<uint8_t>& wire_out);
+
   /// Receive passthrough (impairment is egress-side).
   Result<std::optional<UdpSocket::Datagram>> recv() { return sock_.recv(); }
+
+  /// Batched receive passthrough; views follow UdpSocket::recv_batch rules.
+  Result<std::span<const UdpSocket::RecvView>> recv_batch() {
+    return sock_.recv_batch();
+  }
 
  private:
   UdpSocket sock_;
   fault::FaultStream* stream_;
   EventLoop* loop_;
+  // send_batch scratch, reused across calls: the post-draw wire entries,
+  // which original datagram each maps back to (kDupEntry = best-effort
+  // duplicate with no wire status of its own), and owned copies of
+  // corrupted payloads (corruption must not touch the caller's bytes).
+  static constexpr size_t kDupEntry = static_cast<size_t>(-1);
+  std::vector<UdpSocket::OutDatagram> entries_;
+  std::vector<size_t> entry_owner_;
+  std::vector<std::vector<uint8_t>> corrupt_scratch_;
 };
 
 /// Outcome of pushing one framed message through an impaired TCP path.

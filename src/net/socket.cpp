@@ -6,6 +6,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -27,11 +29,25 @@ Result<Fd> make_socket(int type) {
   return Fd(fd);
 }
 
-sockaddr_in to_sockaddr(const Endpoint& ep) {
+// Process-wide syscall/datagram tallies behind io_counters(). Relaxed:
+// these are statistics, not synchronization.
+struct AtomicIoCounters {
+  std::atomic<uint64_t> sendto_calls{0};
+  std::atomic<uint64_t> recvfrom_calls{0};
+  std::atomic<uint64_t> sendmmsg_calls{0};
+  std::atomic<uint64_t> recvmmsg_calls{0};
+  std::atomic<uint64_t> datagrams_sent{0};
+  std::atomic<uint64_t> datagrams_received{0};
+};
+AtomicIoCounters g_io;
+
+Result<sockaddr_in> to_sockaddr(const Endpoint& ep) {
+  if (!ep.addr.is_v4())
+    return Err("non-IPv4 endpoint on an IPv4-only socket path");
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_port = htons(ep.port);
-  sa.sin_addr.s_addr = htonl(ep.addr.is_v4() ? ep.addr.v4().value() : 0);
+  sa.sin_addr.s_addr = htonl(ep.addr.v4().value());
   return sa;
 }
 
@@ -49,8 +65,21 @@ Result<Endpoint> local_of(int fd) {
 
 }  // namespace
 
-SockAddr SockAddr::from_endpoint(const Endpoint& ep) {
-  return SockAddr{ep.addr.is_v4() ? ep.addr.v4().value() : 0, ep.port};
+IoCounters io_counters() {
+  IoCounters out;
+  out.sendto_calls = g_io.sendto_calls.load(std::memory_order_relaxed);
+  out.recvfrom_calls = g_io.recvfrom_calls.load(std::memory_order_relaxed);
+  out.sendmmsg_calls = g_io.sendmmsg_calls.load(std::memory_order_relaxed);
+  out.recvmmsg_calls = g_io.recvmmsg_calls.load(std::memory_order_relaxed);
+  out.datagrams_sent = g_io.datagrams_sent.load(std::memory_order_relaxed);
+  out.datagrams_received = g_io.datagrams_received.load(std::memory_order_relaxed);
+  return out;
+}
+
+Result<SockAddr> SockAddr::from_endpoint(const Endpoint& ep) {
+  if (!ep.addr.is_v4())
+    return Err("non-IPv4 endpoint on an IPv4-only socket path");
+  return SockAddr{ep.addr.v4().value(), ep.port};
 }
 
 Endpoint SockAddr::to_endpoint() const {
@@ -60,8 +89,9 @@ Endpoint SockAddr::to_endpoint() const {
 Result<UdpSocket> UdpSocket::bind(const Endpoint& local) {
   Fd fd = LDP_TRY(make_socket(SOCK_DGRAM));
   int one = 1;
-  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in sa = to_sockaddr(local);
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0)
+    return sys_error("setsockopt(SO_REUSEADDR)");
+  sockaddr_in sa = LDP_TRY(to_sockaddr(local));
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
     return sys_error("bind");
   return UdpSocket(std::move(fd));
@@ -75,13 +105,15 @@ Result<UdpSocket> UdpSocket::create() {
 Result<Endpoint> UdpSocket::local_endpoint() const { return local_of(fd_.get()); }
 
 Result<bool> UdpSocket::send_to(const Endpoint& dst, std::span<const uint8_t> payload) {
-  sockaddr_in sa = to_sockaddr(dst);
+  sockaddr_in sa = LDP_TRY(to_sockaddr(dst));
   ssize_t n = ::sendto(fd_.get(), payload.data(), payload.size(), 0,
                        reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  g_io.sendto_calls.fetch_add(1, std::memory_order_relaxed);
   if (n < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) return false;
     return sys_error("sendto");
   }
+  g_io.datagrams_sent.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -91,19 +123,103 @@ Result<std::optional<UdpSocket::Datagram>> UdpSocket::recv() {
   socklen_t len = sizeof(sa);
   ssize_t n = ::recvfrom(fd_.get(), buf, sizeof(buf), 0,
                          reinterpret_cast<sockaddr*>(&sa), &len);
+  g_io.recvfrom_calls.fetch_add(1, std::memory_order_relaxed);
   if (n < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return std::optional<Datagram>{};
     return sys_error("recvfrom");
   }
+  g_io.datagrams_received.fetch_add(1, std::memory_order_relaxed);
   Datagram dg;
   dg.from = from_sockaddr(sa);
   dg.payload.assign(buf, buf + n);
   return std::optional<Datagram>{std::move(dg)};
 }
 
+Result<size_t> UdpSocket::send_batch(std::span<const OutDatagram> dgs) {
+  size_t accepted = 0;
+  while (accepted < dgs.size()) {
+    size_t n = std::min(kBatchSize, dgs.size() - accepted);
+    mmsghdr msgs[kBatchSize];
+    iovec iovs[kBatchSize];
+    sockaddr_in addrs[kBatchSize];
+    std::memset(msgs, 0, n * sizeof(mmsghdr));
+    for (size_t i = 0; i < n; ++i) {
+      const OutDatagram& dg = dgs[accepted + i];
+      auto sa = to_sockaddr(dg.dst);
+      if (!sa.ok()) {
+        // Addressing error mid-batch: report the clean prefix if there is
+        // one (the retried tail then surfaces the error with no progress).
+        if (accepted > 0 || i > 0) {
+          // Send the valid entries staged so far in this chunk first.
+          n = i;
+          break;
+        }
+        return sa.error();
+      }
+      addrs[i] = *sa;
+      iovs[i].iov_base = const_cast<uint8_t*>(dg.payload.data());
+      iovs[i].iov_len = dg.payload.size();
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    if (n == 0) return accepted;
+    int r = ::sendmmsg(fd_.get(), msgs, static_cast<unsigned>(n), 0);
+    g_io.sendmmsg_calls.fetch_add(1, std::memory_order_relaxed);
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
+        return accepted;
+      if (accepted > 0) return accepted;
+      return sys_error("sendmmsg");
+    }
+    g_io.datagrams_sent.fetch_add(static_cast<uint64_t>(r), std::memory_order_relaxed);
+    accepted += static_cast<size_t>(r);
+    // The kernel stopping short of the chunk means the next datagram hit a
+    // transient or hard condition; either way the caller owns the tail.
+    if (static_cast<size_t>(r) < n) return accepted;
+  }
+  return accepted;
+}
+
+Result<std::span<const UdpSocket::RecvView>> UdpSocket::recv_batch() {
+  if (recv_arena_.empty()) {
+    recv_arena_.resize(kBatchSize * kRecvSlotBytes);
+    recv_views_.resize(kBatchSize);
+  }
+  mmsghdr msgs[kBatchSize];
+  iovec iovs[kBatchSize];
+  sockaddr_in addrs[kBatchSize];
+  std::memset(msgs, 0, sizeof(msgs));
+  std::memset(addrs, 0, sizeof(addrs));
+  for (size_t i = 0; i < kBatchSize; ++i) {
+    iovs[i].iov_base = recv_arena_.data() + i * kRecvSlotBytes;
+    iovs[i].iov_len = kRecvSlotBytes;
+    msgs[i].msg_hdr.msg_name = &addrs[i];
+    msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  int n = ::recvmmsg(fd_.get(), msgs, kBatchSize, 0, nullptr);
+  g_io.recvmmsg_calls.fetch_add(1, std::memory_order_relaxed);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return std::span<const RecvView>{};
+    return sys_error("recvmmsg");
+  }
+  g_io.datagrams_received.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    recv_views_[static_cast<size_t>(i)] = RecvView{
+        from_sockaddr(addrs[i]),
+        std::span<const uint8_t>(recv_arena_.data() + static_cast<size_t>(i) * kRecvSlotBytes,
+                                 msgs[i].msg_len)};
+  }
+  return std::span<const RecvView>(recv_views_.data(), static_cast<size_t>(n));
+}
+
 Result<TcpStream> TcpStream::connect(const Endpoint& remote) {
   Fd fd = LDP_TRY(make_socket(SOCK_STREAM));
-  sockaddr_in sa = to_sockaddr(remote);
+  sockaddr_in sa = LDP_TRY(to_sockaddr(remote));
   if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 &&
       errno != EINPROGRESS)
     return sys_error("connect");
@@ -115,6 +231,11 @@ TcpStream TcpStream::from_accepted(Fd fd, Endpoint peer) {
 }
 
 Result<size_t> TcpStream::send_message(std::span<const uint8_t> dns_payload) {
+  // The 2-byte length prefix caps a framed DNS message at 65535 octets;
+  // anything larger would silently truncate the prefix and desynchronize
+  // the stream for the peer.
+  if (dns_payload.size() > 0xffff)
+    return Err("DNS message exceeds the 65535-octet TCP frame limit");
   out_.push_back(static_cast<uint8_t>(dns_payload.size() >> 8));
   out_.push_back(static_cast<uint8_t>(dns_payload.size()));
   out_.insert(out_.end(), dns_payload.begin(), dns_payload.end());
@@ -172,8 +293,9 @@ Result<void> TcpStream::set_nodelay(bool on) {
 Result<TcpListener> TcpListener::listen(const Endpoint& local, int backlog) {
   Fd fd = LDP_TRY(make_socket(SOCK_STREAM));
   int one = 1;
-  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in sa = to_sockaddr(local);
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0)
+    return sys_error("setsockopt(SO_REUSEADDR)");
+  sockaddr_in sa = LDP_TRY(to_sockaddr(local));
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
     return sys_error("bind");
   if (::listen(fd.get(), backlog) != 0)

@@ -5,8 +5,11 @@
 // session state), not actual cryptography (see DESIGN.md substitutions).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "net/event_loop.hpp"
 #include "util/bytes.hpp"
@@ -14,13 +17,36 @@
 
 namespace ldp::net {
 
-/// Convert between our Endpoint and sockaddr storage (IPv4 only on the
-/// wire here; the testbed runs on loopback).
+/// Process-wide datagram syscall accounting (relaxed atomics, negligible
+/// hot-path cost): how many kernel crossings the UDP path pays and how many
+/// datagrams they moved. The fig9 bench derives its syscalls/query metric
+/// from deltas of this, which is the number the batched hot path exists to
+/// push below 1.
+struct IoCounters {
+  uint64_t sendto_calls = 0;
+  uint64_t recvfrom_calls = 0;
+  uint64_t sendmmsg_calls = 0;
+  uint64_t recvmmsg_calls = 0;
+  uint64_t datagrams_sent = 0;
+  uint64_t datagrams_received = 0;
+
+  uint64_t syscalls() const {
+    return sendto_calls + recvfrom_calls + sendmmsg_calls + recvmmsg_calls;
+  }
+  uint64_t datagrams() const { return datagrams_sent + datagrams_received; }
+};
+
+/// Snapshot of the process-wide counters (monotonic since process start).
+IoCounters io_counters();
+
+/// Convert between our Endpoint and sockaddr storage. The socket layer is
+/// IPv4-only (the testbed runs on loopback); a non-IPv4 endpoint is an
+/// addressing error, never silently mapped to 0.0.0.0.
 struct SockAddr {
   uint32_t addr_host_order = 0;
   uint16_t port = 0;
 
-  static SockAddr from_endpoint(const Endpoint& ep);
+  static Result<SockAddr> from_endpoint(const Endpoint& ep);
   Endpoint to_endpoint() const;
 };
 
@@ -45,9 +71,46 @@ class UdpSocket {
   /// Nonblocking receive; nullopt when the socket would block.
   Result<std::optional<Datagram>> recv();
 
+  // --- batched zero-copy path (sendmmsg/recvmmsg) --------------------------
+
+  /// Datagrams per mmsg syscall. Send batches larger than this are chunked
+  /// internally; recv_batch returns at most this many views per call.
+  static constexpr size_t kBatchSize = 16;
+  /// Per-slot capacity of the recv arena (max UDP payload).
+  static constexpr size_t kRecvSlotBytes = 65536;
+
+  struct OutDatagram {
+    Endpoint dst;
+    std::span<const uint8_t> payload;  ///< borrowed until the send call returns
+  };
+
+  /// Send many datagrams with sendmmsg. Returns how many the kernel
+  /// accepted — always a *prefix* of `dgs`. A full buffer (EAGAIN/ENOBUFS)
+  /// just shortens the prefix and is not an error; the caller retries the
+  /// tail later, exactly like a false return from send_to. A hard error on
+  /// the very first unsent datagram is returned as an Error; a hard error
+  /// after partial progress reports the progress (retrying the tail will
+  /// then surface the error with zero progress).
+  Result<size_t> send_batch(std::span<const OutDatagram> dgs);
+
+  struct RecvView {
+    Endpoint from;
+    std::span<const uint8_t> payload;  ///< view into the socket's recv arena
+  };
+
+  /// Receive up to kBatchSize datagrams in one recvmmsg into a reusable
+  /// per-socket arena — no per-datagram allocation or copy. The returned
+  /// views stay valid until the next recv_batch() call on this socket. An
+  /// empty span means the socket would block.
+  Result<std::span<const RecvView>> recv_batch();
+
  private:
   explicit UdpSocket(Fd fd) : fd_(std::move(fd)) {}
   Fd fd_;
+  // recv_batch arena, allocated lazily on first use (~1 MiB) and reused for
+  // the socket's lifetime. The view array is rebuilt each call.
+  std::vector<uint8_t> recv_arena_;
+  std::vector<RecvView> recv_views_;
 };
 
 /// A connected TCP stream carrying length-framed DNS messages.

@@ -190,8 +190,14 @@ class QueryEngine::Querier {
       for (auto& rec : record_inbox_) out.unsent.push_back(std::move(rec));
       record_inbox_.clear();
     }
-    for (auto& [source, us] : udp_socks_)
+    for (auto& [source, us] : udp_socks_) {
       for (auto& pq : us->pending.drain()) out.pending.push_back(std::move(pq));
+      // Sends staged for a flush that never came are in flight from the
+      // trace's point of view: salvage them like any pending entry.
+      for (auto& st : us->stage) out.pending.push_back(std::move(st.pq));
+      us->stage.clear();
+    }
+    staged_count_ = 0;
     for (auto& [source, conn] : tcp_conns_)
       for (auto& pq : conn->pending.drain()) out.pending.push_back(std::move(pq));
     for (auto& [token, rec] : deferred_records_)
@@ -226,9 +232,30 @@ class QueryEngine::Querier {
   }
 
  private:
+  // Staged-send modes (batched_io): each replicates its scalar call site's
+  // post-send bookkeeping exactly, so a fixed-seed batched run reports the
+  // same counters as a scalar one.
+  static constexpr uint8_t kStageFresh = 0;  ///< send_query first attempt
+  static constexpr uint8_t kStageAdopt = 1;  ///< adopt_pending resend
+  static constexpr uint8_t kStageRetry = 2;  ///< lifecycle retransmit
+
+  /// One UDP send waiting for the per-round sendmmsg flush. The pending
+  /// query lives here (not in the table) until the flush resolves whether
+  /// it reached the wire; staged_count_ keeps maybe_finish honest.
+  struct StagedSend {
+    PendingQuery pq;
+    uint8_t mode;
+    bool was_on_wire;  ///< kStageRetry only: wire_sent before this attempt
+  };
+
   struct UdpSock {
     std::unique_ptr<net::ImpairedUdpSocket> sock;
     PendingTable pending;
+    // Batched-send staging: queries accumulated during one poll round,
+    // flushed FIFO with one sendmmsg by the loop's flush hook.
+    std::vector<StagedSend> stage;
+    std::vector<net::UdpSocket::OutDatagram> stage_dgs;  // flush scratch
+    std::vector<uint8_t> wire_flags;                     // flush scratch
   };
 
   struct TcpConn {
@@ -307,6 +334,8 @@ class QueryEngine::Querier {
     auto add = loop_.add_fd(wake_fd_.get(), net::Interest{true, false},
                             [this](bool, bool) { on_wake(); });
     if (add.ok()) {
+      if (config_.batched_io)
+        loop_.add_flush_hook([this] { flush_all_udp(); });
       if (config_.supervise) {
         arm_heartbeat();
         if (config_.fault.has_value() &&
@@ -382,7 +411,19 @@ class QueryEngine::Querier {
         s.pending.push_back(std::move(cp));
       });
     };
-    for (const auto& [source, us] : udp_socks_) snap_pending(us->pending);
+    for (const auto& [source, us] : udp_socks_) {
+      snap_pending(us->pending);
+      // Staged sends are in flight for checkpoint purposes: losing them on
+      // resume would silently drop queries the schedule already committed.
+      for (const auto& st : us->stage) {
+        CheckpointPending cp;
+        cp.record = record_of(st.pq);
+        cp.transport = st.pq.transport;
+        cp.retries_used = st.pq.retries_used;
+        cp.payload = st.pq.payload;
+        s.pending.push_back(std::move(cp));
+      }
+    }
     for (const auto& [source, conn] : tcp_conns_) snap_pending(conn->pending);
     for (const auto& [source, n] : sent_per_source_)
       s.sent[source.to_string()] = n;
@@ -451,6 +492,10 @@ class QueryEngine::Querier {
       UdpSock* us = udp_socket_for(pq.source);
       if (us == nullptr) {
         fail();
+        return;
+      }
+      if (config_.batched_io) {
+        stage_udp(*us, std::move(pq), kStageAdopt, false);
         return;
       }
       auto sent = us->sock->send_to(config_.server, pq.payload);
@@ -562,6 +607,10 @@ class QueryEngine::Querier {
         fail_send(index);
         return;
       }
+      if (config_.batched_io) {
+        stage_udp(*us, std::move(pq), kStageFresh, false);
+        return;
+      }
       auto sent = us->sock->send_to(config_.server, pq.payload);
       if (!sent.ok()) {
         fail_send(index);
@@ -637,6 +686,100 @@ class QueryEngine::Querier {
     return raw;
   }
 
+  // ---- batched UDP send path (batched_io) ----
+
+  void stage_udp(UdpSock& us, PendingQuery pq, uint8_t mode, bool was_on_wire) {
+    us.stage.push_back(StagedSend{std::move(pq), mode, was_on_wire});
+    ++staged_count_;
+  }
+
+  /// Flush-hook body: one sendmmsg per socket covers everything staged
+  /// during this poll round (the hook runs after due timers and before the
+  /// loop blocks, so no send ever sits across an epoll_wait).
+  void flush_all_udp() {
+    if (staged_count_ == 0) return;
+    for (auto& [source, us] : udp_socks_) flush_udp(*us);
+    maybe_finish();
+  }
+
+  void flush_udp(UdpSock& us) {
+    if (us.stage.empty()) return;
+    std::vector<StagedSend> batch;
+    batch.swap(us.stage);
+    staged_count_ -= batch.size();
+    us.stage_dgs.clear();
+    for (const auto& st : batch)
+      us.stage_dgs.push_back({config_.server, st.pq.payload});
+    auto res = us.sock->send_batch(us.stage_dgs, us.wire_flags);
+    TimeNs now = mono_now_ns();
+    if (!res.ok()) {
+      for (auto& st : batch) fail_staged(std::move(st));
+      return;
+    }
+    // FIFO resolution preserves the scalar path's accounting order; a
+    // wire_flags entry of 0 is the batched spelling of send_to() == false
+    // (kernel buffer full: deferred, retried by the lifecycle timer).
+    for (size_t i = 0; i < batch.size(); ++i)
+      finish_udp_send(us, std::move(batch[i]), us.wire_flags[i] != 0, now);
+  }
+
+  /// The batched spelling of each scalar call site's send-error branch.
+  void fail_staged(StagedSend st) {
+    SendRecord& sr = record_of(st.pq);
+    ++report_.send_errors;
+    switch (st.mode) {
+      case kStageFresh:
+        sr.outcome = QueryOutcome::Errored;
+        break;
+      case kStageAdopt:
+        if (sr.outcome == QueryOutcome::Pending) {
+          sr.outcome = QueryOutcome::Errored;
+          ++report_.lifecycle.expired;
+        }
+        break;
+      default:  // kStageRetry
+        ++report_.lifecycle.expired;
+        sr.outcome = QueryOutcome::Errored;
+        note_in_flight(-1);
+        break;
+    }
+  }
+
+  /// Post-send bookkeeping for one flushed entry, mode-exact against the
+  /// scalar call sites in send_query / adopt_pending / handle_udp_due.
+  void finish_udp_send(UdpSock& us, StagedSend st, bool on_wire, TimeNs now) {
+    PendingQuery pq = std::move(st.pq);
+    if (st.mode == kStageRetry) {
+      SendRecord& sr = record_of(pq);
+      if (st.was_on_wire) {
+        ++report_.lifecycle.retries;
+        ++sr.retries;
+      } else if (on_wire) {
+        ++report_.lifecycle.deferred_sends;
+      }
+      pq.wire_sent = st.was_on_wire || on_wire;
+      pq.deadline = now + (pq.wire_sent
+                               ? retry_backoff(config_.query_timeout,
+                                               pq.retries_used,
+                                               config_.retry_backoff_cap)
+                               : kDeferredSendDelay);
+      TimeNs deadline = pq.deadline;
+      us.pending.insert(std::move(pq));  // reinsert: not a fresh collision
+      schedule_lifecycle(deadline);
+      return;
+    }
+    // Fresh and adopted sends share the post-send shape; they differ only
+    // in the deadline origin (trace send time vs adoption time).
+    pq.wire_sent = on_wire;
+    if (!on_wire) ++report_.lifecycle.deferred_sends;
+    TimeNs base = st.mode == kStageFresh ? pq.first_send : now;
+    pq.deadline = base + (on_wire ? config_.query_timeout : kDeferredSendDelay);
+    TimeNs deadline = pq.deadline;
+    if (us.pending.insert(std::move(pq))) ++report_.lifecycle.duplicate_ids;
+    note_in_flight(+1);
+    schedule_lifecycle(deadline);
+  }
+
   TcpConn* tcp_conn_for(const IpAddr& source) {
     auto it = tcp_conns_.find(source);
     if (it != tcp_conns_.end()) return it->second.get();
@@ -710,6 +853,21 @@ class QueryEngine::Querier {
   }
 
   void on_udp_readable(UdpSock* us) {
+    if (config_.batched_io) {
+      // Drain with recvmmsg: the views alias the socket's receive arena,
+      // valid until the next recv_batch call — match_response consumes
+      // them before then.
+      while (true) {
+        auto batch = us->sock->recv_batch();
+        if (!batch.ok()) {
+          ++report_.lifecycle.socket_errors;
+          return;
+        }
+        if (batch->empty()) return;
+        for (const auto& view : *batch)
+          match_response(view.payload, us->pending);
+      }
+    }
     while (true) {
       auto dg = us->sock->recv();
       if (!dg.ok()) {
@@ -877,6 +1035,10 @@ class QueryEngine::Querier {
     }
     ++pq.retries_used;
     bool was_on_wire = pq.wire_sent;
+    if (config_.batched_io) {
+      stage_udp(us, std::move(pq), kStageRetry, was_on_wire);
+      return;
+    }
     auto sent = us.sock->send_to(config_.server, pq.payload);
     if (!sent.ok()) {
       ++report_.send_errors;
@@ -942,7 +1104,7 @@ class QueryEngine::Querier {
     conn->pending.insert(std::move(pq));
   }
 
-  void match_response(const std::vector<uint8_t>& payload, PendingTable& pending) {
+  void match_response(std::span<const uint8_t> payload, PendingTable& pending) {
     if (payload.size() < 2) return;
     uint16_t id = static_cast<uint16_t>(payload[0] << 8 | payload[1]);
     auto pq = pending.match(id);
@@ -966,7 +1128,8 @@ class QueryEngine::Querier {
     // Every query reaches a terminal outcome (answer, expiry, error), so
     // in-flight hitting zero is the natural end; drain_grace only caps the
     // wait when the retry/expiry schedule outlives the caller's patience.
-    if (in_flight_ == 0) {
+    // Staged-but-unflushed sends count as in flight.
+    if (in_flight_ == 0 && staged_count_ == 0) {
       stopping_ = true;
       loop_.stop();
       return;
@@ -980,6 +1143,9 @@ class QueryEngine::Querier {
   }
 
   void finalize_report() {
+    // Put any still-staged sends on the wire (or into the pending tables,
+    // where the abandonment sweep below accounts them) before counting.
+    if (config_.batched_io) flush_all_udp();
     // Refuse further adoptions, then account anything still in the inbox —
     // orphans that arrived too late to resend are errored, never lost.
     std::vector<PendingQuery> leftover;
@@ -1040,6 +1206,7 @@ class QueryEngine::Querier {
   EngineReport report_;
   uint64_t next_key_ = 1;
   int64_t in_flight_ = 0;
+  size_t staged_count_ = 0;  ///< UDP sends awaiting the sendmmsg flush
   size_t pending_timers_ = 0;
   bool input_done_ = false;
   bool stopping_ = false;

@@ -76,6 +76,21 @@ class AuthServer {
 
   const ServerStats& stats() const { return *stats_; }
   ServerConfig& config() { return config_; }
+  const ServerConfig& config() const { return config_; }
+
+  /// Zone-data revision (ViewSet::revision passthrough): response caches
+  /// drop pre-rendered entries when this moves.
+  uint64_t revision() const { return views_.revision(); }
+
+  /// Account one reply served from a pre-rendered template without running
+  /// answer(). Keeps the query/response/byte counters (and the nxdomain
+  /// tally fig9-style reports read) honest on the cached hot path.
+  void note_cached_response(size_t response_bytes, bool nxdomain) const {
+    stats_->queries.fetch_add(1, std::memory_order_relaxed);
+    stats_->responses.fetch_add(1, std::memory_order_relaxed);
+    stats_->response_bytes.fetch_add(response_bytes, std::memory_order_relaxed);
+    if (nxdomain) stats_->nxdomain.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   Message answer_from_zone(const zone::Zone& zone, const Message& query) const;

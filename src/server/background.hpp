@@ -31,6 +31,9 @@ class BackgroundServer {
   const Endpoint& endpoint() const { return frontend_->endpoint(); }
   const AuthServer& auth() const { return auth_; }
   const ConnectionStats& connections() const { return frontend_->connections(); }
+  /// Direct frontend access; non-atomic state (e.g. template-cache stats)
+  /// is only safe to read after stop().
+  const ServerFrontend& frontend() const { return *frontend_; }
 
   void stop() {
     if (thread_.joinable()) {

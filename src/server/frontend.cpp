@@ -57,6 +57,8 @@ Result<std::unique_ptr<ServerFrontend>> ServerFrontend::start(net::EventLoop& lo
   }
   auto udp_sock = LDP_TRY(net::UdpSocket::bind(config.bind));
   fe->udp_.emplace(std::move(udp_sock), fe->udp_fault_.get(), &loop);
+  if (config.response_cache_entries > 0)
+    fe->cache_.emplace(config.response_cache_entries);
   fe->endpoint_ = LDP_TRY(fe->udp_->local_endpoint());
   // TCP listens on the port UDP got (so port 0 requests line up).
   Endpoint tcp_bind = config.bind;
@@ -125,24 +127,109 @@ void ServerFrontend::update_overload() {
 }
 
 void ServerFrontend::on_udp_readable() {
-  // Drain the socket: under load many datagrams arrive per wakeup.
-  while (true) {
-    auto dg = udp_->recv();
-    if (!dg.ok() || !dg->has_value()) return;
-    const auto& datagram = **dg;
-    if (overloaded_) {
-      std::vector<uint8_t> degraded;
-      if (degrade_query(datagram.payload, &degraded)) {
-        if (!degraded.empty()) (void)udp_->send_to(datagram.from, degraded);
-        continue;
+  if (!config_.batched_udp) {
+    // Scalar path: one recvfrom/sendto pair per datagram (kept for A/B
+    // measurement and equivalence tests). Drain the socket: under load
+    // many datagrams arrive per wakeup.
+    while (true) {
+      auto dg = udp_->recv();
+      if (!dg.ok() || !dg->has_value()) return;
+      const auto& datagram = **dg;
+      if (overloaded_) {
+        std::vector<uint8_t> degraded;
+        if (degrade_query(datagram.payload, &degraded)) {
+          if (!degraded.empty()) (void)udp_->send_to(datagram.from, degraded);
+          continue;
+        }
+      }
+      auto reply = server_.answer_wire(datagram.payload, datagram.from.addr,
+                                       config_.udp_payload_limit);
+      if (reply.has_value()) {
+        (void)udp_->send_to(datagram.from, *reply);
       }
     }
-    auto reply = server_.answer_wire(datagram.payload, datagram.from.addr,
-                                     config_.udp_payload_limit);
-    if (reply.has_value()) {
-      (void)udp_->send_to(datagram.from, *reply);
+  }
+  // Batched path: recvmmsg the queries, answer into the reply arena, and
+  // flush each inbound batch's replies with one sendmmsg. The flush must
+  // happen per batch — the next recv_batch call recycles the arena slots
+  // the query views point into.
+  while (true) {
+    auto batch = udp_->recv_batch();
+    if (!batch.ok() || batch->empty()) return;
+    for (const auto& view : *batch) handle_udp_query(view.from, view.payload);
+    flush_udp_replies();
+  }
+}
+
+bool ServerFrontend::cache_usable() const {
+  if (!cache_.has_value() || server_.config().rotate_answers) return false;
+  // A cached render is only valid when every client would get the same
+  // bytes: a single catch-all view. Split-horizon setups bypass.
+  const auto& views = server_.views().views();
+  return views.size() == 1 && views[0]->match_clients.empty();
+}
+
+std::vector<uint8_t>& ServerFrontend::next_reply_buf() {
+  if (udp_out_used_ == udp_out_bufs_.size()) udp_out_bufs_.emplace_back();
+  std::vector<uint8_t>& buf = udp_out_bufs_[udp_out_used_++];
+  buf.clear();
+  return buf;
+}
+
+void ServerFrontend::handle_udp_query(const Endpoint& from,
+                                      std::span<const uint8_t> query) {
+  if (overloaded_) {
+    std::vector<uint8_t> degraded;
+    if (degrade_query(query, &degraded)) {
+      if (!degraded.empty()) {
+        std::vector<uint8_t>& buf = next_reply_buf();
+        buf = std::move(degraded);
+        udp_out_.push_back(net::UdpSocket::OutDatagram{from, buf});
+      }
+      return;
     }
   }
+  if (cache_usable()) {
+    cache_->sync_revision(server_.revision());
+    std::vector<uint8_t>& buf = next_reply_buf();
+    bool nxdomain = false;
+    switch (cache_->probe(query, config_.udp_payload_limit, buf, nxdomain)) {
+      case ResponseCache::Outcome::Hit:
+        server_.note_cached_response(buf.size(), nxdomain);
+        udp_out_.push_back(net::UdpSocket::OutDatagram{from, buf});
+        return;
+      case ResponseCache::Outcome::Miss: {
+        auto reply = server_.answer_wire(query, from.addr, config_.udp_payload_limit);
+        if (!reply.has_value()) {
+          --udp_out_used_;  // return the unused arena slot
+          return;
+        }
+        cache_->insert(*reply);
+        buf = std::move(*reply);
+        udp_out_.push_back(net::UdpSocket::OutDatagram{from, buf});
+        return;
+      }
+      case ResponseCache::Outcome::Bypass:
+        --udp_out_used_;  // slot unused; fall through to the plain slow path
+        break;
+    }
+  }
+  auto reply = server_.answer_wire(query, from.addr, config_.udp_payload_limit);
+  if (reply.has_value()) {
+    std::vector<uint8_t>& buf = next_reply_buf();
+    buf = std::move(*reply);
+    udp_out_.push_back(net::UdpSocket::OutDatagram{from, buf});
+  }
+}
+
+void ServerFrontend::flush_udp_replies() {
+  if (!udp_out_.empty()) {
+    // Best-effort like the scalar path's ignored send_to result: a reply
+    // the kernel would not take is indistinguishable from a lost one.
+    (void)udp_->send_batch(udp_out_, udp_wire_flags_);
+    udp_out_.clear();
+  }
+  udp_out_used_ = 0;
 }
 
 void ServerFrontend::on_tcp_acceptable() {

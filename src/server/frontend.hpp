@@ -15,12 +15,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include <optional>
+
 #include "fault/fault.hpp"
 #include "net/event_loop.hpp"
 #include "net/impaired.hpp"
 #include "net/socket.hpp"
 #include "server/auth_server.hpp"
 #include "server/limits.hpp"
+#include "server/response_cache.hpp"
 
 namespace ldp::server {
 
@@ -35,6 +38,17 @@ struct FrontendConfig {
   LimitsConfig limits;
   /// Overload degradation policy (None = never degrade).
   OverloadConfig overload;
+  /// Batched UDP I/O: drain queries with recvmmsg and flush the replies of
+  /// each inbound batch with one sendmmsg, instead of one syscall per
+  /// datagram. Off = the scalar pre-batching path (kept for A/B measurement
+  /// and the scalar/batched equivalence tests).
+  bool batched_udp = true;
+  /// Response template cache entries (0 disables): identical UDP queries
+  /// are answered from a pre-rendered template with only the DNS ID and RD
+  /// bit patched. Automatically bypassed for rotate_answers servers and
+  /// split-horizon view sets, where clients may legitimately receive
+  /// different bytes for the same question.
+  size_t response_cache_entries = 1024;
   /// Egress impairment: replies leave through fault streams "srv:udp" /
   /// "srv:tcp" (a lossy link is symmetric for query/response accounting —
   /// an eaten reply and an eaten query both look like a lost exchange to
@@ -114,6 +128,11 @@ class ServerFrontend {
   /// when the frontend runs unimpaired).
   fault::ImpairmentCounters impairments() const;
 
+  /// Template-cache statistics, or nullptr when the cache is disabled.
+  const ResponseCache* response_cache() const {
+    return cache_.has_value() ? &*cache_ : nullptr;
+  }
+
   /// Close listeners and all connections (also done by the destructor).
   void shutdown();
 
@@ -134,6 +153,15 @@ class ServerFrontend {
   using ConnIter = std::list<Connection>::iterator;
 
   void on_udp_readable();
+  /// Answer one UDP query on the batched path, staging the reply.
+  void handle_udp_query(const Endpoint& from, std::span<const uint8_t> query);
+  /// One sendmmsg flush of the replies staged for the current inbound batch.
+  void flush_udp_replies();
+  /// A cleared reply buffer from the reusable arena (valid until the flush).
+  std::vector<uint8_t>& next_reply_buf();
+  /// Template cache usable for this process state? (single catch-all view,
+  /// no answer rotation — see FrontendConfig::response_cache_entries.)
+  bool cache_usable() const;
   void on_tcp_acceptable();
   void on_conn_readable(ConnIter it);
   /// Flush pending reply bytes; returns false if the connection was closed.
@@ -167,6 +195,14 @@ class ServerFrontend {
   net::EventLoop::TimerId sweep_timer_ = 0;
   bool overloaded_ = false;
   bool shut_down_ = false;
+  // --- batched UDP reply path ----------------------------------------------
+  std::optional<ResponseCache> cache_;
+  // Replies staged for the current inbound batch: spans in udp_out_ point
+  // into udp_out_bufs_ slots (reused across batches; cleared by the flush).
+  std::vector<net::UdpSocket::OutDatagram> udp_out_;
+  std::vector<std::vector<uint8_t>> udp_out_bufs_;
+  size_t udp_out_used_ = 0;
+  std::vector<uint8_t> udp_wire_flags_;  ///< send_batch scratch
 };
 
 }  // namespace ldp::server

@@ -1,0 +1,144 @@
+#include "server/response_cache.hpp"
+
+#include <algorithm>
+
+#include "dns/name.hpp"
+#include "util/bytes.hpp"
+
+namespace ldp::server {
+
+void ResponseCache::sync_revision(uint64_t revision) {
+  if (revision == revision_) return;
+  revision_ = revision;
+  have_pending_ = false;
+  if (!entries_.empty()) {
+    ++stats_.invalidations;
+    entries_.clear();
+    lru_.clear();
+  }
+}
+
+ResponseCache::Outcome ResponseCache::probe(std::span<const uint8_t> query,
+                                            size_t udp_limit,
+                                            std::vector<uint8_t>& reply_out,
+                                            bool& nxdomain_out) {
+  have_pending_ = false;
+  if (max_entries_ == 0 || query.size() < 12) {
+    ++stats_.bypasses;
+    return Outcome::Bypass;
+  }
+  // Header gate: a standard QUERY with exactly one question, nothing in the
+  // answer/authority sections, and at most one additional (a bare OPT).
+  bool qr = (query[2] & 0x80) != 0;
+  uint8_t opcode = (query[2] >> 3) & 0x0f;
+  uint16_t qdcount = static_cast<uint16_t>(query[4] << 8 | query[5]);
+  uint16_t ancount = static_cast<uint16_t>(query[6] << 8 | query[7]);
+  uint16_t nscount = static_cast<uint16_t>(query[8] << 8 | query[9]);
+  uint16_t arcount = static_cast<uint16_t>(query[10] << 8 | query[11]);
+  if (qr || opcode != 0 || qdcount != 1 || ancount != 0 || nscount != 0 ||
+      arcount > 1) {
+    ++stats_.bypasses;
+    return Outcome::Bypass;
+  }
+
+  ByteReader rd(query);
+  (void)rd.seek(12);
+  key_scratch_.clear();
+  // Key layout: lowercased uncompressed qname wire form, then qtype, an
+  // EDNS-present/DO flag byte, and the effective truncation limit (computed
+  // exactly as AuthServer::answer_wire does, since it changes the render).
+  if (!dns::decode_name_wire(rd, key_scratch_).ok()) {
+    ++stats_.bypasses;
+    return Outcome::Bypass;
+  }
+  auto qtype = rd.u16();
+  auto qclass = rd.u16();
+  if (!qtype.ok() || !qclass.ok() || *qclass != 1) {  // cache IN only
+    ++stats_.bypasses;
+    return Outcome::Bypass;
+  }
+  bool edns = false;
+  bool do_bit = false;
+  uint16_t advertised = 0;
+  if (arcount == 1) {
+    // The sole additional must be a root-owner OPT with empty RDATA; EDNS
+    // options (cookies, NSID) vary per client and are never cached.
+    auto owner = rd.u8();
+    auto type = rd.u16();
+    auto payload = rd.u16();  // requestor's UDP payload size (class field)
+    auto ttl = rd.u32();      // ext-RCODE / version / DO+Z flags
+    auto rdlen = rd.u16();
+    if (!owner.ok() || *owner != 0 || !type.ok() || *type != 41 ||
+        !payload.ok() || !ttl.ok() || !rdlen.ok() || *rdlen != 0) {
+      ++stats_.bypasses;
+      return Outcome::Bypass;
+    }
+    edns = true;
+    advertised = *payload;
+    do_bit = (*ttl & 0x8000u) != 0;
+  }
+  if (!rd.empty()) {  // trailing bytes: not a shape worth caching
+    ++stats_.bypasses;
+    return Outcome::Bypass;
+  }
+
+  size_t limit = udp_limit;
+  if (limit > 0 && edns) limit = std::max(limit, static_cast<size_t>(advertised));
+  key_scratch_.push_back(static_cast<char>(*qtype >> 8));
+  key_scratch_.push_back(static_cast<char>(*qtype & 0xff));
+  key_scratch_.push_back(static_cast<char>((edns ? 1 : 0) | (do_bit ? 2 : 0)));
+  for (int shift = 24; shift >= 0; shift -= 8)
+    key_scratch_.push_back(static_cast<char>((limit >> shift) & 0xff));
+
+  auto it = entries_.find(key_scratch_);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    const std::vector<uint8_t>& wire = it->second.wire;
+    reply_out.assign(wire.begin(), wire.end());
+    // Per-query header patch: the DNS ID and the echoed RD bit. Everything
+    // else in the render is a pure function of the cache key.
+    reply_out[0] = query[0];
+    reply_out[1] = query[1];
+    reply_out[2] = static_cast<uint8_t>((reply_out[2] & ~0x01) | (query[2] & 0x01));
+    nxdomain_out = it->second.nxdomain;
+    return Outcome::Hit;
+  }
+
+  ++stats_.misses;
+  pending_key_ = key_scratch_;
+  pending_rd_ = query[2] & 0x01;
+  have_pending_ = true;
+  return Outcome::Miss;
+}
+
+void ResponseCache::insert(std::span<const uint8_t> reply) {
+  if (!have_pending_) return;
+  have_pending_ = false;
+  if (reply.size() < 12) return;
+  // Only cache replies the per-hit patch can reproduce: the question must
+  // be echoed (header-only FORMERR salvage is not) and the RD bit must
+  // match the query's — the patch assumes the slow path echoes it.
+  uint16_t qdcount = static_cast<uint16_t>(reply[4] << 8 | reply[5]);
+  if (qdcount != 1 || (reply[2] & 0x01) != pending_rd_) return;
+
+  auto found = entries_.find(pending_key_);
+  if (found != entries_.end()) {  // re-render of a live key: refresh in place
+    found->second.wire.assign(reply.begin(), reply.end());
+    found->second.nxdomain = (reply[3] & 0x0f) == 3;
+    return;
+  }
+  lru_.push_front(pending_key_);
+  Entry entry;
+  entry.wire.assign(reply.begin(), reply.end());
+  entry.nxdomain = (reply[3] & 0x0f) == 3;
+  entry.lru = lru_.begin();
+  entries_.emplace(std::move(pending_key_), std::move(entry));
+  ++stats_.insertions;
+  if (entries_.size() > max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace ldp::server

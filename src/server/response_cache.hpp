@@ -1,0 +1,91 @@
+// Response template cache for the UDP hot path (§3's "minimize per-query
+// work" requirement): the first answer for a (qname, qtype, EDNS/DO,
+// size-limit) shape is rendered once through the full AuthServer pipeline
+// and kept as wire bytes; subsequent identical queries patch only the DNS
+// ID and the echoed RD bit into a copy of the template. Because
+// Message::make_response copies the *parsed* (lowercased) question into
+// every reply, the slow path is already case-canonical — so a patched
+// template is byte-identical to what the slow path would produce, and name
+// compression offsets inside the template are automatically safe (nothing
+// that varies per query sits before them).
+//
+// The cache only fronts deterministic queries: opcode QUERY, exactly one
+// IN-class question, empty answer/authority sections, and at most a bare
+// OPT record (no EDNS options — cookies vary per client). Everything else
+// bypasses to the slow path. Validity is keyed on the server's zone-data
+// revision; when it moves, the cache drops wholesale.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace ldp::server {
+
+class ResponseCache {
+ public:
+  /// `max_entries` bounds the template store (LRU eviction past it);
+  /// 0 disables the cache (every probe reports Bypass).
+  explicit ResponseCache(size_t max_entries) : max_entries_(max_entries) {}
+
+  enum class Outcome : uint8_t {
+    Hit,     ///< reply_out holds the patched wire bytes
+    Miss,    ///< cacheable shape, not present: render slow-path, then insert()
+    Bypass,  ///< not a cacheable shape: slow path only
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t bypasses = 0;
+    uint64_t insertions = 0;
+    uint64_t invalidations = 0;  ///< wholesale drops on revision change
+  };
+
+  /// Compare against the zone-data revision the entries were rendered
+  /// under; drop everything when it moved. Call before each probe (two
+  /// loads in the steady state).
+  void sync_revision(uint64_t revision);
+
+  /// Classify `query` and, on a hit, write the patched reply into
+  /// `reply_out` (reusing its capacity) and the entry's NXDOMAIN flag into
+  /// `nxdomain_out`. `udp_limit` is the transport's payload limit before
+  /// EDNS adjustment, exactly as passed to AuthServer::answer_wire — it is
+  /// part of the key because it changes truncation.
+  Outcome probe(std::span<const uint8_t> query, size_t udp_limit,
+                std::vector<uint8_t>& reply_out, bool& nxdomain_out);
+
+  /// Store the slow-path render for the key of the immediately preceding
+  /// Miss probe. Skips replies the template transform cannot reproduce
+  /// (header-only FORMERR salvage does not echo the question or RD bit).
+  void insert(std::span<const uint8_t> reply);
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<uint8_t> wire;  ///< pre-rendered reply (ID/RD patched per hit)
+    bool nxdomain = false;      ///< the render's RCODE was NXDOMAIN
+    std::list<std::string>::iterator lru;
+  };
+
+  size_t max_entries_;
+  uint64_t revision_ = 0;
+  // Key of the last Miss probe, pending until insert() (same-call-site
+  // protocol: probe, render, insert).
+  bool have_pending_ = false;
+  uint8_t pending_rd_ = 0;
+  std::string pending_key_;
+  std::string key_scratch_;  ///< reused per probe; no steady-state allocation
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  Stats stats_;
+};
+
+}  // namespace ldp::server

@@ -6,6 +6,7 @@ Result<void> ZoneSet::add(Zone zone) {
   Name origin = zone.origin();
   auto [it, inserted] = zones_.emplace(origin, std::move(zone));
   if (!inserted) return Err("duplicate zone " + origin.to_string());
+  ++revision_;
   return Ok();
 }
 

@@ -31,10 +31,16 @@ class ZoneSet {
   size_t size() const { return zones_.size(); }
   std::vector<const Zone*> all() const;
 
+  /// Monotonic data revision: bumped whenever the set of served zones
+  /// changes. Response caches key their validity on this — see
+  /// ViewSet::revision() for the aggregate the server frontend watches.
+  uint64_t revision() const { return revision_; }
+
  private:
   // Origin -> zone. Lookup walks qname's suffixes longest-first, so a
   // hosted child zone (example.com) wins over its hosted parent (com).
   std::unordered_map<Name, Zone, dns::NameHash> zones_;
+  uint64_t revision_ = 0;
 };
 
 /// One view: the client source addresses that select it, plus the zones it
@@ -62,6 +68,16 @@ class ViewSet {
 
   size_t view_count() const { return views_.size(); }
   const std::vector<std::unique_ptr<View>>& views() const { return views_; }
+
+  /// Aggregate data revision over every view's zone set (plus the view
+  /// count, so adding a view invalidates too). Pre-rendered response caches
+  /// compare this against the revision they rendered under and drop their
+  /// entries when it moves.
+  uint64_t revision() const {
+    uint64_t rev = views_.size();
+    for (const auto& v : views_) rev += v->zones.revision();
+    return rev;
+  }
 
  private:
   std::vector<std::unique_ptr<View>> views_;

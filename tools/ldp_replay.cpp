@@ -15,6 +15,8 @@
 //   --checkpoint-interval S  seconds between snapshots (default 1)
 //   --resume               continue from the --checkpoint file instead of
 //                          starting over (counters carry across the kill)
+//   --scalar-io            one syscall per UDP datagram instead of the
+//                          batched sendmmsg/recvmmsg hot path (A/B runs)
 //   --overload block|drop-oldest|clamp  full-queue policy (default block)
 //   --shed-grace MS        how long a push waits before shedding (default 5)
 //   --no-supervise         disable the heartbeat supervisor
@@ -58,7 +60,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--fast] [--distributors N] [--queriers N]\n"
                "          [--transport udp|tcp|tls] [--dnssec] [--prefix LABEL]\n"
-               "          [--scale F] [--fault SPEC]\n"
+               "          [--scale F] [--fault SPEC] [--scalar-io]\n"
                "          [--checkpoint FILE [--checkpoint-interval S] [--resume]]\n"
                "          [--overload block|drop-oldest|clamp] [--shed-grace MS]\n"
                "          [--no-supervise] [--heartbeat-timeout S]\n"
@@ -114,6 +116,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.fault = *spec;
+    } else if (opt == "--scalar-io") {
+      cfg.batched_io = false;
     } else if (opt == "--checkpoint") {
       cfg.checkpoint_path = need_value();
     } else if (opt == "--checkpoint-interval") {

@@ -3,7 +3,12 @@
 // and serves them over UDP+TCP until interrupted.
 //
 //   ldp-server [--port N] [--timeout SECONDS] [--views views.conf]
-//              [--fault SPEC] [--limits SPEC] [--overload SPEC] <zone>...
+//              [--fault SPEC] [--limits SPEC] [--overload SPEC]
+//              [--scalar-io] [--cache N] <zone>...
+//
+// --scalar-io disables the batched UDP path (one syscall per datagram) and
+// --cache N sizes the response template cache (0 disables it); both exist
+// for before/after measurement against the defaults.
 //
 // --fault impairs the reply path (egress), e.g. loss:0.05,seed:42 — see
 // ldp::fault for the full spec mini-language.
@@ -57,6 +62,8 @@ int main(int argc, char** argv) {
   std::optional<fault::FaultSpec> fault_spec;
   server::LimitsConfig limits;
   server::OverloadConfig overload;
+  bool scalar_io = false;
+  std::optional<size_t> cache_entries;
 
   for (int i = 1; i < argc; ++i) {
     std::string opt = argv[i];
@@ -87,11 +94,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       overload = *spec;
+    } else if (opt == "--scalar-io") {
+      scalar_io = true;
+    } else if (opt == "--cache" && i + 1 < argc) {
+      cache_entries = std::strtoul(argv[++i], nullptr, 10);
     } else if (opt.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--timeout SECONDS] [--views views.conf]"
                    " [--fault SPEC] [--limits SPEC] [--overload SPEC]"
-                   " <zone-file>...\n",
+                   " [--scalar-io] [--cache N] <zone-file>...\n",
                    argv[0]);
       return 2;
     } else {
@@ -167,6 +178,12 @@ int main(int argc, char** argv) {
   fe_cfg.fault = fault_spec;
   fe_cfg.limits = limits;
   fe_cfg.overload = overload;
+  fe_cfg.batched_udp = !scalar_io;
+  if (cache_entries.has_value()) fe_cfg.response_cache_entries = *cache_entries;
+  if (scalar_io || fe_cfg.response_cache_entries == 0)
+    std::fprintf(stderr, "hot path: %s, template cache %zu entries\n",
+                 fe_cfg.batched_udp ? "batched" : "scalar",
+                 fe_cfg.response_cache_entries);
   if (fault_spec.has_value())
     std::fprintf(stderr, "reply-path impairment: %s\n",
                  fault_spec->to_string().c_str());
