@@ -16,12 +16,14 @@
 // before/after numbers land in BENCH_fig9_throughput.json (checked in; see
 // EXPERIMENTS.md for the re-record recipe).
 #include <cstdio>
+#include <thread>
 
 #include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 #include "net/socket.hpp"
 #include "replay/engine.hpp"
 #include "server/background.hpp"
+#include "server/sharded_frontend.hpp"
 
 using namespace ldp;
 
@@ -128,6 +130,95 @@ PhaseResult run_phase(bool batched, const std::vector<trace::TraceRecord>& batch
   return out;
 }
 
+// Core-sweep phase: N SO_REUSEPORT server shards + an N-way sharded querier
+// pool, both on the batched defaults. Measures the end-to-end answered rate
+// the sharded pipeline sustains. On a multi-core host the answered rate
+// should scale with N until cores run out; on a 1-core host (like the
+// recorded run — see EXPERIMENTS.md) the sweep measures sharding overhead
+// instead, which is the honest number for this box.
+PhaseResult run_shard_phase(size_t shards, const std::vector<trace::TraceRecord>& batch,
+                            size_t query_bytes, TimeNs budget) {
+  PhaseResult out;
+  server::FrontendConfig fc;  // defaults: batched I/O + template cache
+  auto srv = server::ShardedServer::start(bench::root_wildcard_server(), fc, shards);
+  if (!srv.ok()) return out;
+
+  std::printf("  -- %zu shard%s --\n", shards, shards == 1 ? "" : "s");
+  net::IoCounters before = net::io_counters();
+  TimeNs phase_start = mono_now_ns();
+  while (mono_now_ns() - phase_start < budget) {
+    replay::EngineConfig cfg;
+    cfg.server = (*srv)->endpoint();
+    cfg.timed = false;
+    cfg.distributors = 1;
+    cfg.queriers_per_distributor = 2;
+    cfg.shards = shards;
+    cfg.drain_grace = 100 * kMilli;
+    replay::QueryEngine engine(cfg);
+    auto report = engine.replay(batch);
+    if (!report.ok()) break;
+    out.queries_sent += report->queries_sent;
+    out.responses_received += report->responses_received;
+    out.lifecycle.merge(report->lifecycle);
+    out.max_in_flight = std::max(out.max_in_flight, report->max_in_flight);
+  }
+  out.io = io_delta(before, net::io_counters());
+  out.duration_s = ns_to_sec(mono_now_ns() - phase_start);
+  out.rate_qps = static_cast<double>(out.queries_sent) / out.duration_s;
+  out.mbps = out.rate_qps * static_cast<double>(query_bytes + 28) * 8 / 1e6;
+  const server::ShardedExitReport& exit_report = (*srv)->stop();
+  out.server_answered = (*srv)->auth().stats().queries.load();
+  out.cache_hits = exit_report.cache.hits;
+  if (out.queries_sent > 0)
+    out.syscalls_per_query =
+        static_cast<double>(out.io.syscalls()) / static_cast<double>(out.queries_sent);
+  std::printf("  sent %.0f q/s, answered %.0f q/s over %.1f s"
+              " (answered %llu, server %llu, cache hits %llu)\n",
+              out.rate_qps,
+              static_cast<double>(out.responses_received) / out.duration_s,
+              out.duration_s,
+              static_cast<unsigned long long>(out.responses_received),
+              static_cast<unsigned long long>(out.server_answered),
+              static_cast<unsigned long long>(out.cache_hits));
+  return out;
+}
+
+// One-shard equivalence: under a fixed-seed fault and no retransmits, the
+// ShardedServer(1) + shards=1 engine must reproduce the single-loop path's
+// send-side counters exactly (the shards==1 code path is byte-identical and
+// the fault-draw schedule is a function of the seed alone).
+bool one_shard_counters_match(const std::vector<trace::TraceRecord>& batch) {
+  replay::EngineConfig cfg;
+  cfg.timed = false;
+  cfg.distributors = 1;
+  cfg.queriers_per_distributor = 1;
+  cfg.max_retries = 0;  // retransmits would consume extra fault draws
+  cfg.drain_grace = 200 * kMilli;
+  cfg.fault = *fault::parse_fault_spec("dup:0.03,seed:42");
+
+  server::FrontendConfig fc;
+  auto bg = server::BackgroundServer::start(bench::root_wildcard_server(), fc);
+  if (!bg.ok()) return false;
+  cfg.server = (*bg)->endpoint();
+  cfg.shards = 1;
+  auto plain = replay::QueryEngine(cfg).replay(batch);
+  (*bg)->stop();
+  if (!plain.ok()) return false;
+
+  auto srv = server::ShardedServer::start(bench::root_wildcard_server(), fc, 1);
+  if (!srv.ok()) return false;
+  cfg.server = (*srv)->endpoint();
+  auto sharded = replay::QueryEngine(cfg).replay(batch);
+  (*srv)->stop();
+  if (!sharded.ok()) return false;
+
+  // Send-side only: responses depend on loopback receive-buffer luck under
+  // a fast-mode burst. (The shard_test suite checks full-book equality on
+  // paced traces where nothing is dropped.)
+  return plain->queries_sent == sharded->queries_sent &&
+         plain->impairments == sharded->impairments;
+}
+
 bench::JsonObject phase_json(const PhaseResult& r) {
   bench::JsonObject io;
   io.field("sendto_calls", r.io.sendto_calls)
@@ -180,6 +271,26 @@ int main(int argc, char** argv) {
   PhaseResult scalar = run_phase(false, batch, query_bytes, 8 * kSecond);
   PhaseResult batched = run_phase(true, batch, query_bytes, 8 * kSecond);
 
+  // Core sweep: 1/2/4 SO_REUSEPORT shards, engine shard count matched.
+  std::printf("\n  shard sweep (SO_REUSEPORT serving + sharded querier pool):\n");
+  const size_t kShardCounts[] = {1, 2, 4};
+  PhaseResult shard_phases[3];
+  for (size_t i = 0; i < 3; ++i)
+    shard_phases[i] = run_shard_phase(kShardCounts[i], batch, query_bytes, 4 * kSecond);
+  auto answered_rate = [](const PhaseResult& r) {
+    return r.duration_s > 0
+               ? static_cast<double>(r.responses_received) / r.duration_s : 0.0;
+  };
+  double scaling_4x = answered_rate(shard_phases[0]) > 0
+      ? answered_rate(shard_phases[2]) / answered_rate(shard_phases[0]) : 0;
+  std::printf("  4-shard vs 1-shard answered-rate scaling: %.2fx\n", scaling_4x);
+
+  // Smaller batch keeps the determinism check fast; counters are exact.
+  std::vector<trace::TraceRecord> small(batch.begin(), batch.begin() + 20000);
+  bool one_shard_match = one_shard_counters_match(small);
+  std::printf("  one-shard send-side counters match single-loop path: %s\n",
+              one_shard_match ? "yes" : "NO");
+
   double speedup = scalar.rate_qps > 0 ? batched.rate_qps / scalar.rate_qps : 0;
   double syscall_cut = batched.syscalls_per_query > 0
       ? scalar.syscalls_per_query / batched.syscalls_per_query : 0;
@@ -202,6 +313,15 @@ int main(int argc, char** argv) {
       .field("batched", phase_json(batched))
       .field("throughput_speedup", speedup)
       .field("syscalls_per_query_reduction", syscall_cut);
+  for (size_t i = 0; i < 3; ++i) {
+    bench::JsonObject p = phase_json(shard_phases[i]);
+    p.field("answered_rate_qps", answered_rate(shard_phases[i]));
+    report.field("shards_" + std::to_string(kShardCounts[i]), p);
+  }
+  report.field("shard_scaling_4x_answered_rate", scaling_4x)
+      .field("one_shard_counters_match_single_loop",
+             std::string(one_shard_match ? "yes" : "no"))
+      .field("host_cores", static_cast<uint64_t>(std::thread::hardware_concurrency()));
   if (!bench::write_json_file(json_path, report)) {
     std::fprintf(stderr, "failed to write %s\n", json_path);
     return 1;

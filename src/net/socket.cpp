@@ -29,6 +29,20 @@ Result<Fd> make_socket(int type) {
   return Fd(fd);
 }
 
+// Shared address-reuse setup for both bind paths (UDP sockets and TCP
+// listeners), so the two cannot drift: SO_REUSEADDR always (fast rebinds
+// after a restart), SO_REUSEPORT on request (N sockets sharing one port,
+// kernel-load-balanced — the shard fan-out).
+Result<void> set_reuse(int fd, bool reuse_port) {
+  int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0)
+    return sys_error("setsockopt(SO_REUSEADDR)");
+  if (reuse_port &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0)
+    return sys_error("setsockopt(SO_REUSEPORT)");
+  return Ok();
+}
+
 // Process-wide syscall/datagram tallies behind io_counters(). Relaxed:
 // these are statistics, not synchronization.
 struct AtomicIoCounters {
@@ -40,6 +54,11 @@ struct AtomicIoCounters {
   std::atomic<uint64_t> datagrams_received{0};
 };
 AtomicIoCounters g_io;
+
+// Per-thread tallies behind thread_io_counters(): plain increments next to
+// every g_io bump. A shard thread's snapshot is exact because all I/O for
+// its sockets happens on its event-loop thread.
+thread_local IoCounters t_io;
 
 Result<sockaddr_in> to_sockaddr(const Endpoint& ep) {
   if (!ep.addr.is_v4())
@@ -76,6 +95,8 @@ IoCounters io_counters() {
   return out;
 }
 
+IoCounters thread_io_counters() { return t_io; }
+
 Result<SockAddr> SockAddr::from_endpoint(const Endpoint& ep) {
   if (!ep.addr.is_v4())
     return Err("non-IPv4 endpoint on an IPv4-only socket path");
@@ -86,11 +107,9 @@ Endpoint SockAddr::to_endpoint() const {
   return Endpoint{IpAddr{Ip4{addr_host_order}}, port};
 }
 
-Result<UdpSocket> UdpSocket::bind(const Endpoint& local) {
+Result<UdpSocket> UdpSocket::bind(const Endpoint& local, bool reuse_port) {
   Fd fd = LDP_TRY(make_socket(SOCK_DGRAM));
-  int one = 1;
-  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0)
-    return sys_error("setsockopt(SO_REUSEADDR)");
+  LDP_TRY_VOID(set_reuse(fd.get(), reuse_port));
   sockaddr_in sa = LDP_TRY(to_sockaddr(local));
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
     return sys_error("bind");
@@ -109,11 +128,13 @@ Result<bool> UdpSocket::send_to(const Endpoint& dst, std::span<const uint8_t> pa
   ssize_t n = ::sendto(fd_.get(), payload.data(), payload.size(), 0,
                        reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
   g_io.sendto_calls.fetch_add(1, std::memory_order_relaxed);
+  ++t_io.sendto_calls;
   if (n < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) return false;
     return sys_error("sendto");
   }
   g_io.datagrams_sent.fetch_add(1, std::memory_order_relaxed);
+  ++t_io.datagrams_sent;
   return true;
 }
 
@@ -124,11 +145,13 @@ Result<std::optional<UdpSocket::Datagram>> UdpSocket::recv() {
   ssize_t n = ::recvfrom(fd_.get(), buf, sizeof(buf), 0,
                          reinterpret_cast<sockaddr*>(&sa), &len);
   g_io.recvfrom_calls.fetch_add(1, std::memory_order_relaxed);
+  ++t_io.recvfrom_calls;
   if (n < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return std::optional<Datagram>{};
     return sys_error("recvfrom");
   }
   g_io.datagrams_received.fetch_add(1, std::memory_order_relaxed);
+  ++t_io.datagrams_received;
   Datagram dg;
   dg.from = from_sockaddr(sa);
   dg.payload.assign(buf, buf + n);
@@ -167,6 +190,7 @@ Result<size_t> UdpSocket::send_batch(std::span<const OutDatagram> dgs) {
     if (n == 0) return accepted;
     int r = ::sendmmsg(fd_.get(), msgs, static_cast<unsigned>(n), 0);
     g_io.sendmmsg_calls.fetch_add(1, std::memory_order_relaxed);
+    ++t_io.sendmmsg_calls;
     if (r < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
         return accepted;
@@ -174,6 +198,7 @@ Result<size_t> UdpSocket::send_batch(std::span<const OutDatagram> dgs) {
       return sys_error("sendmmsg");
     }
     g_io.datagrams_sent.fetch_add(static_cast<uint64_t>(r), std::memory_order_relaxed);
+    t_io.datagrams_sent += static_cast<uint64_t>(r);
     accepted += static_cast<size_t>(r);
     // The kernel stopping short of the chunk means the next datagram hit a
     // transient or hard condition; either way the caller owns the tail.
@@ -202,12 +227,14 @@ Result<std::span<const UdpSocket::RecvView>> UdpSocket::recv_batch() {
   }
   int n = ::recvmmsg(fd_.get(), msgs, kBatchSize, 0, nullptr);
   g_io.recvmmsg_calls.fetch_add(1, std::memory_order_relaxed);
+  ++t_io.recvmmsg_calls;
   if (n < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK)
       return std::span<const RecvView>{};
     return sys_error("recvmmsg");
   }
   g_io.datagrams_received.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+  t_io.datagrams_received += static_cast<uint64_t>(n);
   for (int i = 0; i < n; ++i) {
     recv_views_[static_cast<size_t>(i)] = RecvView{
         from_sockaddr(addrs[i]),
@@ -290,11 +317,10 @@ Result<void> TcpStream::set_nodelay(bool on) {
   return Ok();
 }
 
-Result<TcpListener> TcpListener::listen(const Endpoint& local, int backlog) {
+Result<TcpListener> TcpListener::listen(const Endpoint& local, int backlog,
+                                        bool reuse_port) {
   Fd fd = LDP_TRY(make_socket(SOCK_STREAM));
-  int one = 1;
-  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0)
-    return sys_error("setsockopt(SO_REUSEADDR)");
+  LDP_TRY_VOID(set_reuse(fd.get(), reuse_port));
   sockaddr_in sa = LDP_TRY(to_sockaddr(local));
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
     return sys_error("bind");

@@ -34,10 +34,28 @@ struct IoCounters {
     return sendto_calls + recvfrom_calls + sendmmsg_calls + recvmmsg_calls;
   }
   uint64_t datagrams() const { return datagrams_sent + datagrams_received; }
+
+  /// Sum another snapshot into this one (the per-shard merge-after-join
+  /// idiom: each shard thread snapshots its own counters before exiting,
+  /// the owner merges after the joins — no locks, no atomics needed).
+  void merge(const IoCounters& o) {
+    sendto_calls += o.sendto_calls;
+    recvfrom_calls += o.recvfrom_calls;
+    sendmmsg_calls += o.sendmmsg_calls;
+    recvmmsg_calls += o.recvmmsg_calls;
+    datagrams_sent += o.datagrams_sent;
+    datagrams_received += o.datagrams_received;
+  }
 };
 
 /// Snapshot of the process-wide counters (monotonic since process start).
 IoCounters io_counters();
+
+/// Snapshot of the *calling thread's* counters (monotonic since thread
+/// start; plain thread-local increments, so reading another thread's tally
+/// is impossible by construction). A shard thread calls this right before
+/// it exits and stashes the result where the joiner can merge it.
+IoCounters thread_io_counters();
 
 /// Convert between our Endpoint and sockaddr storage. The socket layer is
 /// IPv4-only (the testbed runs on loopback); a non-IPv4 endpoint is an
@@ -52,8 +70,12 @@ struct SockAddr {
 
 class UdpSocket {
  public:
-  /// Bind to addr:port (port 0 picks an ephemeral port).
-  static Result<UdpSocket> bind(const Endpoint& local);
+  /// Bind to addr:port (port 0 picks an ephemeral port). With `reuse_port`
+  /// the socket joins (or starts) an SO_REUSEPORT group: N sockets share
+  /// the port and the kernel spreads inbound datagrams across them by
+  /// flow hash — the per-core shard fan-out (every member must set the
+  /// flag, and the first bind fixes the group's credentials).
+  static Result<UdpSocket> bind(const Endpoint& local, bool reuse_port = false);
   /// Unbound socket for client use (bound implicitly on first send).
   static Result<UdpSocket> create();
 
@@ -156,7 +178,11 @@ class TcpStream {
 
 class TcpListener {
  public:
-  static Result<TcpListener> listen(const Endpoint& local, int backlog = 512);
+  /// With `reuse_port`, N listeners share the port in an SO_REUSEPORT
+  /// group and the kernel load-balances incoming connections across their
+  /// accept queues (same sharding contract as UdpSocket::bind).
+  static Result<TcpListener> listen(const Endpoint& local, int backlog = 512,
+                                    bool reuse_port = false);
 
   int fd() const { return fd_.get(); }
   Result<Endpoint> local_endpoint() const;

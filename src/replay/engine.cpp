@@ -1552,6 +1552,7 @@ Result<EngineReport> QueryEngine::replay(const std::vector<TraceRecord>& trace,
     return Err("need at least one distributor and querier");
   if (shared_clock != nullptr && !shared_clock->started())
     return Err("shared clock not started");
+  if (config_.shards > 1) return replay_sharded(trace, shared_clock);
 
   const CheckpointState* resume = config_.resume;
   const bool checkpointing = !config_.checkpoint_path.empty();
@@ -1754,6 +1755,80 @@ Result<EngineReport> QueryEngine::replay(const std::vector<TraceRecord>& trace,
   distributors.clear();
   source_to_distributor_.clear();
   next_distributor_ = 0;
+  return merged;
+}
+
+Result<EngineReport> QueryEngine::replay_sharded(
+    const std::vector<TraceRecord>& trace, const ReplayClock* shared_clock) {
+  // Per-shard checkpoint snapshots have no merge story yet; refuse rather
+  // than write N files that can't resume each other.
+  if (!config_.checkpoint_path.empty() || config_.resume != nullptr)
+    return Err("checkpoint/resume is incompatible with shards > 1");
+
+  // The live mutator is applied here, on the one controller thread, before
+  // partitioning — exactly the single-shard Postman order — so stateful
+  // user closures never see concurrent calls and drop accounting stays
+  // centralized. Sticky partition by source in first-appearance order
+  // (deterministic and balanced, the same policy distributor_for uses), so
+  // a source's queries — and therefore its connections and its per-source
+  // fault stream — live on exactly one shard.
+  std::vector<std::vector<TraceRecord>> slices(config_.shards);
+  std::unordered_map<IpAddr, size_t, IpAddrHash> source_to_shard;
+  uint64_t mutator_dropped = 0;
+  for (const auto& rec : trace) {
+    if (rec.direction != trace::Direction::Query) continue;
+    TraceRecord record = rec;
+    if (config_.live_mutator != nullptr) {
+      auto verdict = config_.live_mutator->apply(record);
+      if (!verdict.ok() || *verdict == mutate::Verdict::Drop) {
+        ++mutator_dropped;
+        continue;
+      }
+    }
+    auto [it, fresh] =
+        source_to_shard.emplace(record.src.addr, source_to_shard.size() % config_.shards);
+    slices[it->second].push_back(std::move(record));
+    (void)fresh;
+  }
+
+  // One synchronization point for every shard (t̄₁ from the whole trace),
+  // so the merged send schedule matches an unsharded replay.
+  ReplayClock own_clock;
+  own_clock.start(trace.front().timestamp, mono_now_ns() + kStartupLead);
+  const ReplayClock& clock = shared_clock != nullptr ? *shared_clock : own_clock;
+
+  // One full worker pipeline per shard, each a plain single-shard engine
+  // (mutation already applied above). Results land in per-shard slots and
+  // merge after the joins.
+  EngineConfig sub_cfg = config_;
+  sub_cfg.shards = 1;
+  sub_cfg.live_mutator = nullptr;
+  std::vector<std::optional<Result<EngineReport>>> slots(config_.shards);
+  std::vector<std::unique_ptr<QueryEngine>> engines;
+  std::vector<std::thread> threads;
+  engines.reserve(config_.shards);
+  threads.reserve(config_.shards);
+  for (size_t i = 0; i < config_.shards; ++i)
+    engines.push_back(std::make_unique<QueryEngine>(sub_cfg));
+  for (size_t i = 0; i < config_.shards; ++i) {
+    threads.emplace_back([&clock, &slices, &slots, &engines, i] {
+      if (slices[i].empty()) {
+        slots[i] = EngineReport{};
+        return;
+      }
+      slots[i] = engines[i]->replay(slices[i], &clock);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EngineReport merged;
+  merged.replay_start = clock.real_origin();
+  merged.mutator_dropped = mutator_dropped;
+  for (auto& slot : slots) {
+    if (!slot.has_value()) return Err("shard produced no report");
+    if (!slot->ok()) return Err(slot->error().message);
+    merged.merge_from(std::move(slot->value()));
+  }
   return merged;
 }
 

@@ -43,6 +43,17 @@ struct EngineConfig {
   Endpoint server;            ///< where replayed queries go
   size_t distributors = 1;
   size_t queriers_per_distributor = 2;
+  /// Sharded querier pool: with shards > 1, replay() partitions the trace
+  /// by source (sticky — a source never spans shards, so connection reuse
+  /// and same-source ordering hold) into this many slices and runs each
+  /// through its own full worker pipeline (distributors × queriers, own
+  /// event loops) on a shared replay clock, merging the per-shard reports
+  /// after the joins. The per-source fault-draw schedule is a function of
+  /// the seed alone ("udp:<src>"/"tcp:<src>" stream names), so fixed-seed
+  /// impairment counters are identical at any shard count. shards == 1 is
+  /// byte-for-byte the unsharded code path. Incompatible with
+  /// checkpoint/resume (per-shard snapshots would need a merge story).
+  size_t shards = 1;
   /// Timed replay reproduces trace timing; fast mode sends as fast as
   /// possible (§2.6 "replay as fast as possible" option, Figure 9).
   bool timed = true;
@@ -174,6 +185,11 @@ class QueryEngine {
  private:
   class Querier;
   class Distributor;
+
+  /// The shards > 1 path: partition by source, one sub-engine per shard on
+  /// its own thread, one shared clock, merge-after-join.
+  Result<EngineReport> replay_sharded(const std::vector<trace::TraceRecord>& trace,
+                                      const ReplayClock* shared_clock);
 
   EngineConfig config_;
   // Same-source stickiness: controller level (source -> distributor).

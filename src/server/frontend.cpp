@@ -24,6 +24,26 @@ std::vector<uint8_t> degraded_reply(std::span<const uint8_t> query,
 
 }  // namespace
 
+void ConnectionStats::merge(const ConnectionStats& o) {
+  accepted += o.accepted;
+  closed_idle += o.closed_idle;
+  closed_by_peer += o.closed_by_peer;
+  closed_error += o.closed_error;
+  closed_shutdown += o.closed_shutdown;
+  evicted_lru += o.evicted_lru;
+  refused_quota += o.refused_quota;
+  deadline_closed += o.deadline_closed;
+  write_stall_closed += o.write_stall_closed;
+  overflow_closed += o.overflow_closed;
+  refused_overload += o.refused_overload;
+  dropped_overload += o.dropped_overload;
+  truncated_overload += o.truncated_overload;
+  overload_entered += o.overload_entered;
+  overload_exited += o.overload_exited;
+  established += o.established;
+  peak_established += o.peak_established;
+}
+
 std::string ConnectionStats::summary() const {
   std::ostringstream out;
   out << "accepted " << accepted << "  established " << established
@@ -55,7 +75,7 @@ Result<std::unique_ptr<ServerFrontend>> ServerFrontend::start(net::EventLoop& lo
     fe->udp_fault_ = std::make_unique<fault::FaultStream>(*config.fault, "srv:udp");
     fe->tcp_fault_ = std::make_unique<fault::FaultStream>(*config.fault, "srv:tcp");
   }
-  auto udp_sock = LDP_TRY(net::UdpSocket::bind(config.bind));
+  auto udp_sock = LDP_TRY(net::UdpSocket::bind(config.bind, config.reuse_port));
   fe->udp_.emplace(std::move(udp_sock), fe->udp_fault_.get(), &loop);
   if (config.response_cache_entries > 0)
     fe->cache_.emplace(config.response_cache_entries);
@@ -63,7 +83,8 @@ Result<std::unique_ptr<ServerFrontend>> ServerFrontend::start(net::EventLoop& lo
   // TCP listens on the port UDP got (so port 0 requests line up).
   Endpoint tcp_bind = config.bind;
   tcp_bind.port = fe->endpoint_.port;
-  fe->listener_ = LDP_TRY(net::TcpListener::listen(tcp_bind));
+  fe->listener_ =
+      LDP_TRY(net::TcpListener::listen(tcp_bind, 512, config.reuse_port));
 
   ServerFrontend* raw = fe.get();
   LDP_TRY_VOID(loop.add_fd(fe->udp_->fd(), net::Interest{true, false},

@@ -29,6 +29,11 @@ namespace ldp::server {
 
 struct FrontendConfig {
   Endpoint bind{IpAddr{Ip4{127, 0, 0, 1}}, 0};  ///< port 0 = ephemeral
+  /// Join an SO_REUSEPORT group on both sockets: N frontends (one per
+  /// shard thread, each on its own EventLoop) bind the same port and the
+  /// kernel spreads datagrams/accepts across them. Every member must set
+  /// this — see server::ShardedServer for the fan-out that uses it.
+  bool reuse_port = false;
   /// Idle-connection timeout (the Figures 11/13/14 sweep variable).
   TimeNs tcp_idle_timeout = 20 * kSecond;
   /// How often the idle/deadline sweep runs.
@@ -98,6 +103,14 @@ struct ConnectionStats {
   /// Accounting invariant: every admitted connection is either still
   /// established or counted under exactly one close reason.
   bool consistent() const { return accepted == established + closed_total(); }
+
+  /// Fold another shard's book into this one (merge-after-join: each shard
+  /// thread owns its stats; the owner merges once the threads are joined).
+  /// Every counter sums — including `established`, so consistent() holds
+  /// for the merged book whenever it held per shard. `peak_established`
+  /// sums too, making the merged peak an upper bound on simultaneously
+  /// open connections (per-shard peaks need not align in time).
+  void merge(const ConnectionStats& o);
 
   /// One-line "accepted 12  established 3 ..." report for tools and tests.
   std::string summary() const;

@@ -36,12 +36,45 @@ Result<size_t> ShardedMetaServer::add_zone(zone::Zone zone,
                                              zones_per_shard_.end()) -
                             zones_per_shard_.begin());
 
-  zone::View& view = shards_[target]->views().add_view(zone.origin().to_string());
+  // A routed address identifies the view its nameserver identity already
+  // owns on the target shard; the new zone joins that view so one
+  // identity's zones stay reachable together under first-match-wins view
+  // selection (a second view with the same match-clients would be
+  // permanently shadowed). Addresses bridging two existing views would
+  // need a view merge — rejected like a shard straddle, with no mutation.
+  zone::View* view = nullptr;
+  if (forced.has_value()) {
+    for (const IpAddr& addr : nameserver_addrs) {
+      if (routing_.find(addr) == routing_.end()) continue;
+      zone::View* owner = nullptr;
+      for (const auto& v : shards_[target]->views().views()) {
+        if (v->match_clients.contains(addr)) {
+          owner = v.get();
+          break;
+        }
+      }
+      if (view != nullptr && owner != view)
+        return Err("nameserver addresses of " + zone.origin().to_string() +
+                   " straddle views on shard " + std::to_string(target));
+      view = owner;
+    }
+  }
+  const bool fresh_view = view == nullptr;
+  if (fresh_view)
+    view = &shards_[target]->views().add_view(zone.origin().to_string());
+
+  // The only fallible step (duplicate-origin within the identity's view)
+  // runs before any routing_/match_clients mutation, so a failed add rolls
+  // back to exactly the pre-call state: a freshly created view is removed
+  // again, and no stale route can leak.
+  if (auto added = view->zones.add(std::move(zone)); !added.ok()) {
+    if (fresh_view) shards_[target]->views().remove_view(view);
+    return added.error();
+  }
   for (const IpAddr& addr : nameserver_addrs) {
-    view.match_clients.insert(addr);
+    view->match_clients.insert(addr);
     routing_[addr] = target;
   }
-  LDP_TRY_VOID(view.zones.add(std::move(zone)));
   ++zones_per_shard_[target];
   return target;
 }

@@ -29,8 +29,13 @@ class ShardedMetaServer {
 
   /// Install a zone served by `nameserver_addrs` on the least-loaded shard
   /// (by hosted-zone count); registers the addresses in the routing table.
-  /// Fails if an address is already routed to a different shard (one
-  /// nameserver identity cannot straddle shards).
+  /// A zone whose addresses are already routed joins the existing view of
+  /// that nameserver identity (same shard, shared match-clients set), so
+  /// every zone of one identity answers under first-match-wins selection.
+  /// Fails — atomically, leaving no routes, match-clients entries, or
+  /// views behind — if an address is already routed to a different shard,
+  /// if the addresses bridge two distinct views on one shard, or if the
+  /// identity's view already hosts a zone with the same origin.
   Result<size_t> add_zone(zone::Zone zone, const std::vector<IpAddr>& nameserver_addrs);
 
   /// Shard index for a view-selector address, if routed.

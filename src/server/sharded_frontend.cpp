@@ -1,0 +1,87 @@
+#include "server/sharded_frontend.hpp"
+
+namespace ldp::server {
+
+Result<std::unique_ptr<ShardedServer>> ShardedServer::start(AuthServer server,
+                                                            FrontendConfig config,
+                                                            size_t shards) {
+  if (shards == 0) shards = 1;
+  auto srv = std::unique_ptr<ShardedServer>(new ShardedServer(std::move(server)));
+
+  // More than one shard requires the whole group to opt into SO_REUSEPORT;
+  // a lone shard keeps whatever the caller configured so its socket setup
+  // (and therefore its counters) matches the single-loop path exactly.
+  if (shards > 1) config.reuse_port = true;
+
+  // Shard 0 resolves the port (the caller may have asked for port 0); the
+  // rest bind the concrete port and join the group. All registration with
+  // a shard's loop happens here, before that loop's thread exists, so no
+  // loop is ever touched from two threads.
+  for (size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    FrontendConfig cfg = config;
+    cfg.bind.port = i == 0 ? config.bind.port : srv->endpoint_.port;
+    auto fe = ServerFrontend::start(shard->loop, srv->auth_, cfg);
+    if (!fe.ok()) return Err("shard " + std::to_string(i) + ": " + fe.error().message);
+    shard->frontend = std::move(*fe);
+    if (i == 0) srv->endpoint_ = shard->frontend->endpoint();
+    srv->shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : srv->shards_) {
+    Shard* raw = shard.get();
+    shard->thread = std::thread([raw] {
+      raw->loop.run();
+      // Last act on the shard thread: snapshot its thread-local syscall
+      // tally. The joiner reads it after thread::join (happens-before), so
+      // the merge needs no locks.
+      raw->io = net::thread_io_counters();
+    });
+  }
+  return srv;
+}
+
+ShardedServer::~ShardedServer() { stop(); }
+
+void ShardedServer::request_stop() {
+  for (auto& shard : shards_) shard->loop.stop();
+}
+
+void ShardedServer::wait() {
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+const ShardedExitReport& ShardedServer::stop() {
+  if (stopped_) return report_;
+  stopped_ = true;
+  request_stop();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  // Merge barrier: every shard thread is joined, so the shard-local books
+  // are plain memory now. Shut each frontend down first so connections
+  // still open when the loop stopped are closed and counted (Shutdown) —
+  // keeping accepted == established + closed_total() true in the merge.
+  for (auto& shard : shards_) {
+    shard->frontend->shutdown();
+    ShardReport rep;
+    rep.connections = shard->frontend->connections();
+    rep.impairments = shard->frontend->impairments();
+    if (const ResponseCache* cache = shard->frontend->response_cache())
+      rep.cache = cache->stats();
+    rep.io = shard->io;
+    report_.connections.merge(rep.connections);
+    report_.impairments.merge(rep.impairments);
+    report_.cache.hits += rep.cache.hits;
+    report_.cache.misses += rep.cache.misses;
+    report_.cache.bypasses += rep.cache.bypasses;
+    report_.cache.insertions += rep.cache.insertions;
+    report_.cache.invalidations += rep.cache.invalidations;
+    report_.io.merge(rep.io);
+    report_.per_shard.push_back(std::move(rep));
+  }
+  return report_;
+}
+
+}  // namespace ldp::server

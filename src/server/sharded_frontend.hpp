@@ -1,0 +1,103 @@
+// Multi-core sharded serving: N ServerFrontends in one SO_REUSEPORT group,
+// each on its own EventLoop thread. The kernel spreads datagrams and TCP
+// accepts across the member sockets by flow hash, so every shard owns a
+// disjoint set of clients end to end — connection books, admission state,
+// response template cache, fault streams and syscall tallies are all
+// shard-local and touched only from the shard's thread. Nothing is shared
+// between shards except the read-only zone data and the AuthServer's
+// atomic stats, so the hot path takes no locks. Aggregation happens once,
+// after the shard threads are joined, by merging each shard's books into
+// one exit report (the merge-after-join idiom from util/metrics.hpp); the
+// PR-5 accepted == established + closed invariant holds per shard and,
+// because ConnectionStats::merge sums every term, in the merged report.
+//
+// This is the serving half of the paper's scale story (§2.2 "multiple
+// instances of the server to support large query rate"): one process,
+// one port, one shard per core.
+#pragma once
+
+#include <thread>
+#include <vector>
+
+#include "server/frontend.hpp"
+
+namespace ldp::server {
+
+/// One shard's post-join snapshot (also available merged — see
+/// ShardedExitReport). Filled in by stop(); reading it earlier would race
+/// with the shard thread, so it lives behind the stop() barrier.
+struct ShardReport {
+  ConnectionStats connections;
+  fault::ImpairmentCounters impairments;
+  ResponseCache::Stats cache;
+  net::IoCounters io;  ///< syscalls issued by this shard's thread
+};
+
+/// Merged exit accounting across every shard, plus the per-shard books it
+/// was built from (tools print both; tests check the invariant on both).
+struct ShardedExitReport {
+  ConnectionStats connections;
+  fault::ImpairmentCounters impairments;
+  ResponseCache::Stats cache;
+  net::IoCounters io;
+  std::vector<ShardReport> per_shard;
+};
+
+/// An AuthServer behind N SO_REUSEPORT-sharded frontends, each running its
+/// own event loop on a dedicated thread. With shards == 1 this degenerates
+/// to exactly the BackgroundServer shape: one frontend, one loop, one
+/// thread, and (unless the caller asked for it) no SO_REUSEPORT — so the
+/// single-shard counters are byte-identical to the single-loop path.
+class ShardedServer {
+ public:
+  /// Takes ownership of the AuthServer. Zone data must be fully loaded
+  /// before start(); after it, the server may only be touched through its
+  /// atomic stats (shard threads read the views concurrently).
+  static Result<std::unique_ptr<ShardedServer>> start(AuthServer server,
+                                                      FrontendConfig config,
+                                                      size_t shards);
+
+  ~ShardedServer();
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  /// The shared endpoint every shard is bound to (resolves port 0).
+  const Endpoint& endpoint() const { return endpoint_; }
+  size_t shard_count() const { return shards_.size(); }
+  const AuthServer& auth() const { return auth_; }
+
+  /// Ask every shard loop to wind down without blocking (safe from a
+  /// signal handler: EventLoop::stop is a sticky eventfd write). Pair with
+  /// stop() from a normal thread to join and collect the report.
+  void request_stop();
+
+  /// Block until every shard loop has exited — i.e. until someone calls
+  /// request_stop() (a signal handler, another thread). The tool's main
+  /// thread parks here, mirroring the single-loop path's blocking
+  /// loop.run(). Follow with stop() to merge the books.
+  void wait();
+
+  /// Stop all shard loops, join the threads, shut the frontends down and
+  /// merge the shard-local books. Idempotent; later calls return the same
+  /// report. Also run by the destructor.
+  const ShardedExitReport& stop();
+
+ private:
+  explicit ShardedServer(AuthServer server) : auth_(std::move(server)) {}
+
+  struct Shard {
+    net::EventLoop loop;
+    std::unique_ptr<ServerFrontend> frontend;
+    std::thread thread;
+    net::IoCounters io;  ///< written by the shard thread as its last act
+  };
+
+  AuthServer auth_;
+  Endpoint endpoint_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool stopped_ = false;
+  ShardedExitReport report_;
+};
+
+}  // namespace ldp::server

@@ -100,6 +100,35 @@ grep -q "limits: max-conns:32" hardened.log || { echo "limits banner missing"; e
 grep -q "overload: policy:refuse" hardened.log || { echo "overload banner missing"; exit 1; }
 grep -q "connections:" hardened.log || { echo "connection summary missing"; exit 1; }
 
+echo "== sharded server + sharded replay over loopback (--shards 2)"
+PORT3=$(( (RANDOM % 10000) + 20000 ))
+$SERVER --port $PORT3 --shards 2 example.zone 2> sharded.log &
+SERVER_PID=$!
+sleep 0.5
+OUT5=$($REPLAY --fast --shards 2 trace.ldpb 127.0.0.1 $PORT3 2> replay_sharded.log)
+echo "$OUT5"
+echo "$OUT5" | grep -q "queries sent:       400" || { echo "sharded replay lost queries"; exit 1; }
+RESP5=$(echo "$OUT5" | sed -n 's/responses received: \([0-9]*\).*/\1/p')
+[ "$RESP5" -gt 0 ] || { echo "sharded server answered nothing"; exit 1; }
+grep -q "shards: 2 source-partitioned" replay_sharded.log \
+  || { echo "replay shard banner missing"; exit 1; }
+kill $SERVER_PID
+wait $SERVER_PID 2>/dev/null || true
+grep -q "shards: 2 (SO_REUSEPORT" sharded.log || { echo "server shard banner missing"; exit 1; }
+grep -q "shard 0 connections:" sharded.log || { echo "per-shard summary missing"; exit 1; }
+grep -q "shard 1 connections:" sharded.log || { echo "per-shard summary missing"; exit 1; }
+grep -q "connections (merged):" sharded.log || { echo "merged summary missing"; exit 1; }
+
+echo "== --shards is strictly validated on both tools"
+if $SERVER --shards 0 example.zone 2> badshards.log; then
+  echo "--shards 0 was accepted"; exit 1
+fi
+grep -q "bad --shards" badshards.log || { echo "missing server --shards error"; exit 1; }
+if $REPLAY --shards banana trace.ldpb 127.0.0.1 $PORT3 2>> badshards.log; then
+  echo "--shards banana was accepted"; exit 1
+fi
+grep -q "plain integer" badshards.log || { echo "missing replay --shards error"; exit 1; }
+
 echo "== hardened server: malformed specs are strict errors"
 if $SERVER --limits max-conn:32 example.zone 2> badspec.log; then
   echo "bad --limits spec was accepted"; exit 1

@@ -387,6 +387,48 @@ TEST(Histogram, EmptyIsSafe) {
   EXPECT_FALSE(h.summary_ms().empty());
 }
 
+// Merge with an empty histogram in either order must neither invent
+// samples nor clobber min/max (regression: merging a non-empty `other`
+// into an empty `this` once inherited this->min_/max_ zeroes; the guards
+// in merge() make both directions exact no-ops/copies).
+TEST(Histogram, MergeEmptyOtherPreservesMinMax) {
+  metrics::Histogram h;
+  h.add(5);
+  h.add(90);
+  metrics::Histogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 90);
+}
+
+TEST(Histogram, MergeIntoEmptyCopiesMinMax) {
+  metrics::Histogram h;
+  h.add(5);
+  h.add(90);
+  metrics::Histogram empty;
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.min(), 5);
+  EXPECT_EQ(empty.max(), 90);
+  // ...and a later real merge still widens correctly.
+  metrics::Histogram more;
+  more.add(1);
+  more.add(200);
+  empty.merge(more);
+  EXPECT_EQ(empty.count(), 4u);
+  EXPECT_EQ(empty.min(), 1);
+  EXPECT_EQ(empty.max(), 200);
+}
+
+TEST(Histogram, MergeTwoEmptiesStaysEmpty) {
+  metrics::Histogram a, b;
+  a.merge(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.min(), 0);
+  EXPECT_EQ(a.max(), 0);
+}
+
 TEST(LifecycleCounters, MergeSums) {
   metrics::LifecycleCounters a, b;
   a.timeouts = 3;

@@ -5,6 +5,8 @@
 //   --fast                 ignore trace timing, replay as fast as possible
 //   --distributors N       distribution fan-out (default 1)
 //   --queriers N           queriers per distributor (default 2)
+//   --shards N             run N source-partitioned worker pools on a
+//                          shared replay clock (multi-core replay; 1-64)
 //   --transport udp|tcp|tls  override every query's transport (§5.2 what-if)
 //   --dnssec               set the DO bit on every query (§5.1 what-if)
 //   --prefix LABEL         prepend LABEL to every qname (replay matching)
@@ -58,7 +60,7 @@ Result<std::vector<trace::TraceRecord>> load_trace(const std::string& path) {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--fast] [--distributors N] [--queriers N]\n"
+               "usage: %s [--fast] [--distributors N] [--queriers N] [--shards N]\n"
                "          [--transport udp|tcp|tls] [--dnssec] [--prefix LABEL]\n"
                "          [--scale F] [--fault SPEC] [--scalar-io]\n"
                "          [--checkpoint FILE [--checkpoint-interval S] [--resume]]\n"
@@ -92,6 +94,21 @@ int main(int argc, char** argv) {
       cfg.distributors = std::strtoul(need_value(), nullptr, 10);
     } else if (opt == "--queriers") {
       cfg.queriers_per_distributor = std::strtoul(need_value(), nullptr, 10);
+    } else if (opt == "--shards") {
+      // Strict, same spelling as ldp-server: plain digits, 1..64.
+      std::string v = need_value();
+      if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "--shards wants a plain integer, got '%s'\n",
+                     v.c_str());
+        return 2;
+      }
+      unsigned long n = std::strtoul(v.c_str(), nullptr, 10);
+      if (n < 1 || n > 64) {
+        std::fprintf(stderr, "--shards must be between 1 and 64, got %s\n",
+                     v.c_str());
+        return 2;
+      }
+      cfg.shards = n;
     } else if (opt == "--transport") {
       auto t = transport_from_string(need_value());
       if (!t.ok()) {
@@ -195,6 +212,9 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(resume_state.trace_queries),
                  resume_state.pending.size());
   }
+  if (cfg.shards > 1)
+    std::fprintf(stderr, "shards: %zu source-partitioned worker pools\n",
+                 cfg.shards);
   std::fprintf(stderr, "replaying %zu queries to %s (%s mode)...\n", records->size(),
                cfg.server.to_string().c_str(), cfg.timed ? "timed" : "fast");
 

@@ -4,11 +4,16 @@
 //
 //   ldp-server [--port N] [--timeout SECONDS] [--views views.conf]
 //              [--fault SPEC] [--limits SPEC] [--overload SPEC]
-//              [--scalar-io] [--cache N] <zone>...
+//              [--scalar-io] [--cache N] [--shards N] <zone>...
 //
 // --scalar-io disables the batched UDP path (one syscall per datagram) and
 // --cache N sizes the response template cache (0 disables it); both exist
 // for before/after measurement against the defaults.
+//
+// --shards N serves from N SO_REUSEPORT frontends, one event loop thread
+// each (multi-core serving; connection/cache/impairment books are
+// shard-local and merged into the exit summary). N must be 1..64; 1 is
+// the classic single-loop path.
 //
 // --fault impairs the reply path (egress), e.g. loss:0.05,seed:42 — see
 // ldp::fault for the full spec mini-language.
@@ -30,7 +35,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "server/frontend.hpp"
+#include "server/sharded_frontend.hpp"
 #include "util/strings.hpp"
 #include "zone/parser.hpp"
 
@@ -39,9 +44,23 @@ using namespace ldp;
 namespace {
 
 net::EventLoop* g_loop = nullptr;
+server::ShardedServer* g_sharded = nullptr;
 
 void handle_signal(int) {
   if (g_loop != nullptr) g_loop->stop();
+  if (g_sharded != nullptr) g_sharded->request_stop();
+}
+
+// Strict --shards parser, shared spelling with ldp-replay: every character
+// a digit, value in [1, 64]. Anything else is a usage error (exit 2).
+Result<size_t> parse_shards(const char* text) {
+  std::string s = text;
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    return Err("--shards wants a plain integer, got '" + s + "'");
+  unsigned long v = std::strtoul(s.c_str(), nullptr, 10);
+  if (v < 1 || v > 64)
+    return Err("--shards must be between 1 and 64, got " + s);
+  return static_cast<size_t>(v);
 }
 
 Result<zone::Zone> load_zone_file(const std::string& path) {
@@ -64,6 +83,7 @@ int main(int argc, char** argv) {
   server::OverloadConfig overload;
   bool scalar_io = false;
   std::optional<size_t> cache_entries;
+  size_t shards = 1;
 
   for (int i = 1; i < argc; ++i) {
     std::string opt = argv[i];
@@ -98,11 +118,18 @@ int main(int argc, char** argv) {
       scalar_io = true;
     } else if (opt == "--cache" && i + 1 < argc) {
       cache_entries = std::strtoul(argv[++i], nullptr, 10);
+    } else if (opt == "--shards" && i + 1 < argc) {
+      auto n = parse_shards(argv[++i]);
+      if (!n.ok()) {
+        std::fprintf(stderr, "bad --shards: %s\n", n.error().message.c_str());
+        return 2;
+      }
+      shards = *n;
     } else if (opt.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--timeout SECONDS] [--views views.conf]"
                    " [--fault SPEC] [--limits SPEC] [--overload SPEC]"
-                   " [--scalar-io] [--cache N] <zone-file>...\n",
+                   " [--scalar-io] [--cache N] [--shards N] <zone-file>...\n",
                    argv[0]);
       return 2;
     } else {
@@ -171,7 +198,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  net::EventLoop loop;
   server::FrontendConfig fe_cfg;
   fe_cfg.bind = Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, port};
   fe_cfg.tcp_idle_timeout = timeout;
@@ -191,6 +217,43 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "limits: %s\n", limits.to_string().c_str());
   if (overload.enabled())
     std::fprintf(stderr, "overload: %s\n", overload.to_string().c_str());
+
+  if (shards > 1) {
+    // Multi-core path: one SO_REUSEPORT frontend + event loop per shard.
+    // Shard books are merged after the joins; both views are printed.
+    std::fprintf(stderr, "shards: %zu (SO_REUSEPORT, one event loop per shard)\n",
+                 shards);
+    auto sharded = server::ShardedServer::start(std::move(auth), fe_cfg, shards);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "cannot start server: %s\n",
+                   sharded.error().message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving on %s (UDP+TCP, %llds idle timeout); ^C to stop\n",
+                 (*sharded)->endpoint().to_string().c_str(),
+                 static_cast<long long>(timeout / kSecond));
+    g_sharded = sharded->get();
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    (*sharded)->wait();
+    const server::ShardedExitReport& report = (*sharded)->stop();
+    const auto& stats = (*sharded)->auth().stats();
+    std::fprintf(stderr, "served %llu queries (%llu refused, %llu nxdomain)\n",
+                 static_cast<unsigned long long>(stats.queries.load()),
+                 static_cast<unsigned long long>(stats.refused.load()),
+                 static_cast<unsigned long long>(stats.nxdomain.load()));
+    for (size_t s = 0; s < report.per_shard.size(); ++s)
+      std::fprintf(stderr, "shard %zu connections: %s\n", s,
+                   report.per_shard[s].connections.summary().c_str());
+    std::fprintf(stderr, "connections (merged): %s\n",
+                 report.connections.summary().c_str());
+    if (fault_spec.has_value())
+      std::fprintf(stderr, "impairments (merged): %s\n",
+                   report.impairments.summary().c_str());
+    return 0;
+  }
+
+  net::EventLoop loop;
   auto frontend = server::ServerFrontend::start(loop, auth, fe_cfg);
   if (!frontend.ok()) {
     std::fprintf(stderr, "cannot start server: %s\n",
