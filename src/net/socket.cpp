@@ -3,7 +3,9 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -125,8 +127,11 @@ Result<Endpoint> UdpSocket::local_endpoint() const { return local_of(fd_.get());
 
 Result<bool> UdpSocket::send_to(const Endpoint& dst, std::span<const uint8_t> payload) {
   sockaddr_in sa = LDP_TRY(to_sockaddr(dst));
-  ssize_t n = ::sendto(fd_.get(), payload.data(), payload.size(), 0,
-                       reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  ssize_t n;
+  do {
+    n = ::sendto(fd_.get(), payload.data(), payload.size(), 0,
+                 reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  } while (n < 0 && errno == EINTR);
   g_io.sendto_calls.fetch_add(1, std::memory_order_relaxed);
   ++t_io.sendto_calls;
   if (n < 0) {
@@ -142,8 +147,12 @@ Result<std::optional<UdpSocket::Datagram>> UdpSocket::recv() {
   uint8_t buf[65536];
   sockaddr_in sa{};
   socklen_t len = sizeof(sa);
-  ssize_t n = ::recvfrom(fd_.get(), buf, sizeof(buf), 0,
-                         reinterpret_cast<sockaddr*>(&sa), &len);
+  ssize_t n;
+  do {
+    len = sizeof(sa);
+    n = ::recvfrom(fd_.get(), buf, sizeof(buf), 0,
+                   reinterpret_cast<sockaddr*>(&sa), &len);
+  } while (n < 0 && errno == EINTR);
   g_io.recvfrom_calls.fetch_add(1, std::memory_order_relaxed);
   ++t_io.recvfrom_calls;
   if (n < 0) {
@@ -188,7 +197,10 @@ Result<size_t> UdpSocket::send_batch(std::span<const OutDatagram> dgs) {
       msgs[i].msg_hdr.msg_iovlen = 1;
     }
     if (n == 0) return accepted;
-    int r = ::sendmmsg(fd_.get(), msgs, static_cast<unsigned>(n), 0);
+    int r;
+    do {
+      r = ::sendmmsg(fd_.get(), msgs, static_cast<unsigned>(n), 0);
+    } while (r < 0 && errno == EINTR);
     g_io.sendmmsg_calls.fetch_add(1, std::memory_order_relaxed);
     ++t_io.sendmmsg_calls;
     if (r < 0) {
@@ -225,7 +237,10 @@ Result<std::span<const UdpSocket::RecvView>> UdpSocket::recv_batch() {
     msgs[i].msg_hdr.msg_iov = &iovs[i];
     msgs[i].msg_hdr.msg_iovlen = 1;
   }
-  int n = ::recvmmsg(fd_.get(), msgs, kBatchSize, 0, nullptr);
+  int n;
+  do {
+    n = ::recvmmsg(fd_.get(), msgs, kBatchSize, 0, nullptr);
+  } while (n < 0 && errno == EINTR);
   g_io.recvmmsg_calls.fetch_add(1, std::memory_order_relaxed);
   ++t_io.recvmmsg_calls;
   if (n < 0) {
@@ -247,9 +262,11 @@ Result<std::span<const UdpSocket::RecvView>> UdpSocket::recv_batch() {
 Result<TcpStream> TcpStream::connect(const Endpoint& remote) {
   Fd fd = LDP_TRY(make_socket(SOCK_STREAM));
   sockaddr_in sa = LDP_TRY(to_sockaddr(remote));
-  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 &&
-      errno != EINPROGRESS)
-    return sys_error("connect");
+  int r;
+  do {
+    r = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  } while (r != 0 && errno == EINTR);
+  if (r != 0 && errno != EINPROGRESS) return sys_error("connect");
   return TcpStream(std::move(fd), remote);
 }
 
@@ -273,6 +290,7 @@ Result<size_t> TcpStream::flush() {
   while (!out_.empty()) {
     ssize_t n = ::send(fd_.get(), out_.data(), out_.size(), MSG_NOSIGNAL);
     if (n < 0) {
+      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return out_.size();
       return sys_error("send");
     }
@@ -288,6 +306,7 @@ Result<std::vector<std::vector<uint8_t>>> TcpStream::read_messages(bool& closed)
   while (true) {
     ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
     if (n < 0) {
+      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       return sys_error("recv");
     }
@@ -317,6 +336,72 @@ Result<void> TcpStream::set_nodelay(bool on) {
   return Ok();
 }
 
+Result<void> write_full(int fd, std::span<const uint8_t> buf) {
+  size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n = ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd p{fd, POLLOUT, 0};
+        if (::poll(&p, 1, -1) < 0 && errno != EINTR) return sys_error("poll");
+        continue;
+      }
+      return sys_error("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Ok();
+}
+
+Result<bool> read_full(int fd, std::span<uint8_t> buf) {
+  size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n = ::recv(fd, buf.data() + off, buf.size() - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd p{fd, POLLIN, 0};
+        if (::poll(&p, 1, -1) < 0 && errno != EINTR) return sys_error("poll");
+        continue;
+      }
+      return sys_error("recv");
+    }
+    if (n == 0) {
+      if (off == 0) return false;  // clean EOF at a frame boundary
+      return Err("peer closed mid-frame (truncated control frame)");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Result<Fd> tcp_connect_blocking(const Endpoint& remote, TimeNs timeout) {
+  sockaddr_in sa = LDP_TRY(to_sockaddr(remote));
+  const TimeNs deadline = mono_now_ns() + timeout;
+  while (true) {
+    int raw = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (raw < 0) return sys_error("socket");
+    Fd fd(raw);
+    int r;
+    do {
+      r = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    } while (r != 0 && errno == EINTR);
+    if (r == 0) return fd;
+    // The peer may not be listening yet (worker racing the controller's
+    // listen, or a respawned worker racing a half-torn-down one); back off
+    // briefly and retry with a fresh socket — a failed connect() leaves the
+    // old one unusable.
+    if ((errno == ECONNREFUSED || errno == ETIMEDOUT) &&
+        mono_now_ns() < deadline) {
+      timespec ts{0, 50 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
+      continue;
+    }
+    return sys_error("connect");
+  }
+}
+
 Result<TcpListener> TcpListener::listen(const Endpoint& local, int backlog,
                                         bool reuse_port) {
   Fd fd = LDP_TRY(make_socket(SOCK_STREAM));
@@ -334,8 +419,12 @@ Result<Endpoint> TcpListener::local_endpoint() const { return local_of(fd_.get()
 Result<std::optional<TcpStream>> TcpListener::accept() {
   sockaddr_in sa{};
   socklen_t len = sizeof(sa);
-  int fd = ::accept4(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &len,
-                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+  int fd;
+  do {
+    len = sizeof(sa);
+    fd = ::accept4(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &len,
+                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return std::optional<TcpStream>{};
     return sys_error("accept");

@@ -13,6 +13,7 @@
 
 #include "net/event_loop.hpp"
 #include "util/bytes.hpp"
+#include "util/clock.hpp"
 #include "util/ip.hpp"
 
 namespace ldp::net {
@@ -175,6 +176,30 @@ class TcpStream {
   std::vector<uint8_t> out_;  // unsent bytes (already framed)
   std::vector<uint8_t> in_;   // partial inbound frame(s)
 };
+
+// --- blocking control-channel primitives -----------------------------------
+//
+// The distributed-replay control channel (src/replay/dist/) runs over plain
+// TCP but outside the event loop: frames are small, ordering matters, and the
+// supervising side must never be killed by a worker that died mid-write.
+// These helpers are the only sanctioned blocking socket paths in the tree —
+// every one retries EINTR and writes with MSG_NOSIGNAL so a dead peer
+// surfaces as an EPIPE Error, never a SIGPIPE.
+
+/// Write the whole buffer, blocking as needed (poll()s on EAGAIN so it also
+/// works on nonblocking fds). EPIPE/ECONNRESET come back as Errors with
+/// sys_errno set.
+Result<void> write_full(int fd, std::span<const uint8_t> buf);
+
+/// Read exactly buf.size() bytes, blocking as needed. Returns false on a
+/// clean EOF before the first byte (peer closed at a message boundary);
+/// EOF mid-buffer is an error (truncated frame).
+Result<bool> read_full(int fd, std::span<uint8_t> buf);
+
+/// Blocking TCP connect with SO_CLOEXEC, retrying ECONNREFUSED until the
+/// deadline — a worker process may race the controller's listen(). The
+/// returned fd is in blocking mode.
+Result<Fd> tcp_connect_blocking(const Endpoint& remote, TimeNs timeout);
 
 class TcpListener {
  public:

@@ -50,13 +50,9 @@ uint64_t trace_fingerprint(const std::vector<trace::TraceRecord>& trace) {
   return h;
 }
 
-Result<void> save_checkpoint(const std::string& path,
-                             const CheckpointState& state) {
-  std::string tmp = path + ".tmp";
+std::string serialize_checkpoint(const CheckpointState& state) {
+  std::ostringstream os;
   {
-    std::ofstream os(tmp, std::ios::trunc);
-    if (!os) return Err("cannot write checkpoint: " + tmp);
-
     const EngineReport& p = state.partial;
     os << kMagic << "\n";
     os << "trace " << state.trace_hash << " " << state.trace_queries << "\n";
@@ -104,6 +100,17 @@ Result<void> save_checkpoint(const std::string& path,
          << "\n";
     }
     os << "end\n";
+  }
+  return os.str();
+}
+
+Result<void> save_checkpoint(const std::string& path,
+                             const CheckpointState& state) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) return Err("cannot write checkpoint: " + tmp);
+    os << serialize_checkpoint(state);
     os.flush();
     if (!os) return Err("short write to checkpoint: " + tmp);
   }
@@ -112,12 +119,11 @@ Result<void> save_checkpoint(const std::string& path,
   return Ok();
 }
 
-Result<CheckpointState> load_checkpoint(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) return Err("cannot read checkpoint: " + path);
+Result<CheckpointState> parse_checkpoint(const std::string& text) {
+  std::istringstream is(text);
   std::string line;
   if (!std::getline(is, line) || line != kMagic)
-    return Err("not a checkpoint file (bad magic): " + path);
+    return Err("not a checkpoint (bad magic)");
 
   CheckpointState st;
   std::array<uint64_t, metrics::Histogram::kBuckets> buckets{};
@@ -196,10 +202,42 @@ Result<CheckpointState> load_checkpoint(const std::string& path) {
     }
     if (ls.fail()) return Err("checkpoint: malformed '" + key + "' line");
   }
-  if (!saw_end) return Err("checkpoint truncated (no end marker): " + path);
+  if (!saw_end) return Err("checkpoint truncated (no end marker)");
   st.partial.latency_hist.restore_state(buckets, hist_count, hist_min,
                                         hist_max, hist_sum);
   return st;
+}
+
+Result<CheckpointState> load_checkpoint(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Err("cannot read checkpoint: " + path);
+  std::ostringstream text;
+  text << is.rdbuf();
+  auto st = parse_checkpoint(text.str());
+  if (!st.ok()) return Err(st.error().message + ": " + path);
+  return st;
+}
+
+std::string shard_checkpoint_path(const std::string& path, size_t shard) {
+  return path + ".shard" + std::to_string(shard);
+}
+
+Result<std::vector<CheckpointState>> load_sharded_checkpoints(
+    const std::string& path, size_t shards) {
+  std::vector<CheckpointState> out(shards);
+  size_t found = 0;
+  for (size_t i = 0; i < shards; ++i) {
+    std::string p = shard_checkpoint_path(path, i);
+    std::ifstream probe(p);
+    if (!probe) continue;  // shard died before its first snapshot
+    probe.close();
+    out[i] = LDP_TRY(load_checkpoint(p));
+    ++found;
+  }
+  if (found == 0)
+    return Err("no shard checkpoints found at " + shard_checkpoint_path(path, 0) +
+               " (wrong --shards count, or the run died before any snapshot?)");
+  return out;
 }
 
 }  // namespace ldp::replay

@@ -60,11 +60,30 @@ struct CheckpointState {
 /// resume refuses to continue a checkpoint against a different trace.
 uint64_t trace_fingerprint(const std::vector<trace::TraceRecord>& trace);
 
+/// The checkpoint wire form: the same line-oriented text the file holds.
+/// Split out from the file I/O so the distributed control channel can carry
+/// snapshots in CHECKPOINT/ASSIGN frames without touching disk.
+std::string serialize_checkpoint(const CheckpointState& state);
+Result<CheckpointState> parse_checkpoint(const std::string& text);
+
 /// Atomic write: the file at `path` is either the previous snapshot or the
 /// new one, never a torn mix.
 Result<void> save_checkpoint(const std::string& path,
                              const CheckpointState& state);
 
 Result<CheckpointState> load_checkpoint(const std::string& path);
+
+/// Per-shard snapshot naming for sharded runs: `<path>.shard<N>`. Each shard
+/// engine checkpoints its own slice; resume loads all of them back.
+std::string shard_checkpoint_path(const std::string& path, size_t shard);
+
+/// Load `<path>.shard0` … `<path>.shard<N-1>` for a `--shards N` resume.
+/// A missing shard file means the run died before that shard's first
+/// snapshot: its slot comes back default-constructed (trace_hash 0) and the
+/// engine replays that slice from the start — the same "everything after the
+/// last snapshot is re-sent exactly once" contract as the single-shard path.
+/// At least one shard file must exist, otherwise there is nothing to resume.
+Result<std::vector<CheckpointState>> load_sharded_checkpoints(
+    const std::string& path, size_t shards);
 
 }  // namespace ldp::replay

@@ -1,0 +1,32 @@
+// The querier worker process (paper §3: queriers run on separate client
+// hosts). ldp-worker connects back to the controller, receives its slice
+// assignment, answers barrier/drift probes, replays on the barrier start
+// instant, streams HEARTBEAT/PROGRESS/CHECKPOINT frames while running, and
+// ships its EngineReport before exiting.
+#pragma once
+
+#include <string>
+
+#include "util/clock.hpp"
+#include "util/ip.hpp"
+
+namespace ldp::replay::dist {
+
+struct WorkerOptions {
+  Endpoint controller;     ///< where to dial the control channel
+  std::string trace_path;  ///< the shared trace file (sliced by ASSIGN)
+  int64_t index = -1;      ///< advisory; ASSIGN's index is authoritative
+  /// Test-only simulated clock skew: every control-protocol timestamp this
+  /// worker emits (probe echoes, heartbeats) reads mono_now_ns() + skew, and
+  /// protocol instants it receives are converted back before touching the
+  /// engine's monotonic clock — exactly the situation a worker on a second
+  /// machine with a drifted clock would be in. 0 = honest clock.
+  TimeNs skew = 0;
+};
+
+/// Run the worker lifecycle to completion. Returns the process exit code:
+/// 0 after a delivered REPORT, 1 on any control-channel or replay failure
+/// (the controller's supervisor treats a pre-REPORT exit as a crash).
+int run_worker(const WorkerOptions& opts);
+
+}  // namespace ldp::replay::dist

@@ -42,6 +42,9 @@ void EngineReport::merge_from(EngineReport&& other) {
   shed_queries += other.shed_queries;
   queue_hwm = std::max(queue_hwm, other.queue_hwm);
   clamp_stall_ns += other.clamp_stall_ns;
+  worker_crashes += other.worker_crashes;
+  workers_respawned += other.workers_respawned;
+  max_drift_ns = std::max(max_drift_ns, other.max_drift_ns);
   lifecycle.merge(other.lifecycle);
   impairments.merge(other.impairments);
   latency_hist.merge(other.latency_hist);
@@ -347,7 +350,7 @@ class QueryEngine::Querier {
                                 });
         }
       }
-      if (!config_.checkpoint_path.empty()) arm_snapshot();
+      if (config_.checkpointing()) arm_snapshot();
       loop_.run();
     }
     if (stalled_) park();
@@ -386,7 +389,7 @@ class QueryEngine::Querier {
   }
 
   void publish_snapshot() {
-    if (config_.checkpoint_path.empty()) return;
+    if (!config_.checkpointing()) return;
     QuerierSnapshot s;
     s.valid = true;
     s.partial.queries_sent = report_.queries_sent;
@@ -1554,8 +1557,13 @@ Result<EngineReport> QueryEngine::replay(const std::vector<TraceRecord>& trace,
     return Err("shared clock not started");
   if (config_.shards > 1) return replay_sharded(trace, shared_clock);
 
+  if (config_.resume != nullptr && config_.resume_shards != nullptr)
+    return Err("resume and resume_shards are mutually exclusive");
+  if (config_.resume_shards != nullptr)
+    return Err("resume_shards requires shards > 1 (use resume)");
+
   const CheckpointState* resume = config_.resume;
-  const bool checkpointing = !config_.checkpoint_path.empty();
+  const bool checkpointing = config_.checkpointing();
   uint64_t fingerprint = 0;
   uint64_t total_queries = 0;
   if (checkpointing || resume != nullptr) {
@@ -1651,9 +1659,13 @@ Result<EngineReport> QueryEngine::replay(const std::vector<TraceRecord>& trace,
   }
   if (checkpointing) {
     supervisor.set_checkpoint([&] {
-      auto saved = save_checkpoint(config_.checkpoint_path, gather_state());
-      if (!saved.ok())
-        LDP_WARN("replay", "checkpoint failed: " << saved.error().message);
+      CheckpointState st = gather_state();
+      if (!config_.checkpoint_path.empty()) {
+        auto saved = save_checkpoint(config_.checkpoint_path, st);
+        if (!saved.ok())
+          LDP_WARN("replay", "checkpoint failed: " << saved.error().message);
+      }
+      if (config_.checkpoint_sink) config_.checkpoint_sink(st);
     });
   }
   if (config_.supervise || checkpointing) supervisor.start();
@@ -1747,9 +1759,13 @@ Result<EngineReport> QueryEngine::replay(const std::vector<TraceRecord>& trace,
   // Final quiescent checkpoint: a completed replay's file resumes into a
   // no-op (and the kill-and-resume smoke path reads its counters).
   if (checkpointing) {
-    auto saved = save_checkpoint(config_.checkpoint_path, gather_state());
-    if (!saved.ok())
-      LDP_WARN("replay", "final checkpoint failed: " << saved.error().message);
+    CheckpointState st = gather_state();
+    if (!config_.checkpoint_path.empty()) {
+      auto saved = save_checkpoint(config_.checkpoint_path, st);
+      if (!saved.ok())
+        LDP_WARN("replay", "final checkpoint failed: " << saved.error().message);
+    }
+    if (config_.checkpoint_sink) config_.checkpoint_sink(st);
   }
 
   distributors.clear();
@@ -1760,10 +1776,17 @@ Result<EngineReport> QueryEngine::replay(const std::vector<TraceRecord>& trace,
 
 Result<EngineReport> QueryEngine::replay_sharded(
     const std::vector<TraceRecord>& trace, const ReplayClock* shared_clock) {
-  // Per-shard checkpoint snapshots have no merge story yet; refuse rather
-  // than write N files that can't resume each other.
-  if (!config_.checkpoint_path.empty() || config_.resume != nullptr)
-    return Err("checkpoint/resume is incompatible with shards > 1");
+  // Checkpoints shard alongside the queriers: each shard engine snapshots
+  // its own slice to `<path>.shard<N>` and resumes from its own state, so
+  // the single-shard consistency argument holds per slice. Whole-trace
+  // resume state is carried per shard (resume_shards), never as one file.
+  if (config_.resume != nullptr)
+    return Err("sharded resume takes per-shard states (resume_shards), not a single checkpoint");
+  if (config_.resume_shards != nullptr &&
+      config_.resume_shards->size() != config_.shards)
+    return Err("resume_shards size does not match the shard count");
+  if (config_.checkpoint_sink)
+    return Err("checkpoint_sink is incompatible with shards > 1");
 
   // The live mutator is applied here, on the one controller thread, before
   // partitioning — exactly the single-shard Postman order — so stateful
@@ -1792,24 +1815,62 @@ Result<EngineReport> QueryEngine::replay_sharded(
   }
 
   // One synchronization point for every shard (t̄₁ from the whole trace),
-  // so the merged send schedule matches an unsharded replay.
+  // so the merged send schedule matches an unsharded replay. A sharded
+  // resume re-anchors at the globally earliest record no shard has sent —
+  // the shared clock overrides the sub-engines' own re-anchoring, so the
+  // fast-forward has to happen here.
+  TimeNs anchor_ts = trace.front().timestamp;
+  if (config_.resume_shards != nullptr) {
+    bool found = false;
+    for (size_t i = 0; i < config_.shards; ++i) {
+      const CheckpointState& st = (*config_.resume_shards)[i];
+      std::unordered_map<IpAddr, uint64_t, IpAddrHash> remaining;
+      for (const auto& [ip, n] : st.sent) {
+        auto addr = IpAddr::parse(ip);
+        if (!addr.ok()) return Err("shard checkpoint: bad source address " + ip);
+        remaining[*addr] = n;
+      }
+      for (const auto& rec : slices[i]) {
+        auto it = remaining.find(rec.src.addr);
+        if (it != remaining.end() && it->second > 0) {
+          --it->second;
+          continue;
+        }
+        if (!found || rec.timestamp < anchor_ts) anchor_ts = rec.timestamp;
+        found = true;
+        break;
+      }
+    }
+  }
   ReplayClock own_clock;
-  own_clock.start(trace.front().timestamp, mono_now_ns() + kStartupLead);
+  own_clock.start(anchor_ts, mono_now_ns() + kStartupLead);
   const ReplayClock& clock = shared_clock != nullptr ? *shared_clock : own_clock;
 
   // One full worker pipeline per shard, each a plain single-shard engine
-  // (mutation already applied above). Results land in per-shard slots and
-  // merge after the joins.
+  // (mutation already applied above) with its own checkpoint file and its
+  // own resume state. Results land in per-shard slots and merge after the
+  // joins.
   EngineConfig sub_cfg = config_;
   sub_cfg.shards = 1;
   sub_cfg.live_mutator = nullptr;
+  sub_cfg.resume_shards = nullptr;
   std::vector<std::optional<Result<EngineReport>>> slots(config_.shards);
   std::vector<std::unique_ptr<QueryEngine>> engines;
   std::vector<std::thread> threads;
   engines.reserve(config_.shards);
   threads.reserve(config_.shards);
-  for (size_t i = 0; i < config_.shards; ++i)
-    engines.push_back(std::make_unique<QueryEngine>(sub_cfg));
+  for (size_t i = 0; i < config_.shards; ++i) {
+    EngineConfig cfg = sub_cfg;
+    if (!config_.checkpoint_path.empty())
+      cfg.checkpoint_path = shard_checkpoint_path(config_.checkpoint_path, i);
+    // trace_hash 0 marks a shard that died before its first snapshot: it
+    // replays its slice from the start (re-sent queries are counted once,
+    // same contract as post-snapshot sends in a single-shard resume).
+    if (config_.resume_shards != nullptr &&
+        (*config_.resume_shards)[i].trace_hash != 0)
+      cfg.resume = &(*config_.resume_shards)[i];
+    engines.push_back(std::make_unique<QueryEngine>(std::move(cfg)));
+  }
   for (size_t i = 0; i < config_.shards; ++i) {
     threads.emplace_back([&clock, &slices, &slots, &engines, i] {
       if (slices[i].empty()) {

@@ -9,6 +9,7 @@
 // a real server endpoint, and the §2.6 scheduling math runs unchanged.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -51,8 +52,9 @@ struct EngineConfig {
   /// after the joins. The per-source fault-draw schedule is a function of
   /// the seed alone ("udp:<src>"/"tcp:<src>" stream names), so fixed-seed
   /// impairment counters are identical at any shard count. shards == 1 is
-  /// byte-for-byte the unsharded code path. Incompatible with
-  /// checkpoint/resume (per-shard snapshots would need a merge story).
+  /// byte-for-byte the unsharded code path. With checkpoint_path set, each
+  /// shard snapshots its own slice to `<path>.shard<N>`; resume takes the
+  /// matching per-shard states via `resume_shards`.
   size_t shards = 1;
   /// Timed replay reproduces trace timing; fast mode sends as fast as
   /// possible (§2.6 "replay as fast as possible" option, Figure 9).
@@ -118,6 +120,26 @@ struct EngineConfig {
   std::string checkpoint_path;
   TimeNs checkpoint_interval = kSecond;
   const CheckpointState* resume = nullptr;
+  /// Per-shard resume states for shards > 1 (size must equal `shards`,
+  /// same partition as the run that wrote them — the per-slice trace
+  /// fingerprints catch a mismatched shard count). A default-constructed
+  /// entry (trace_hash 0) means that shard never snapshot and replays its
+  /// slice from the start. Mutually exclusive with `resume`.
+  const std::vector<CheckpointState>* resume_shards = nullptr;
+  /// In-memory checkpoint consumer: called with each periodic snapshot (and
+  /// the final quiescent one) in addition to — or instead of — the file at
+  /// checkpoint_path. The distributed worker wires this to CHECKPOINT
+  /// control frames so the controller always holds a fresh resume point.
+  /// Runs on the supervisor thread; must be cheap and must not call back
+  /// into the engine. Only valid with shards == 1 (a per-shard sink would
+  /// interleave unrelated slices).
+  std::function<void(const CheckpointState&)> checkpoint_sink;
+
+  /// True when any checkpoint consumer is configured — queriers then track
+  /// snapshot state (per-source sent counts, stream positions, pending).
+  bool checkpointing() const {
+    return !checkpoint_path.empty() || checkpoint_sink != nullptr;
+  }
 };
 
 /// One sent query, for the Figures 6-8 fidelity analysis.
@@ -147,6 +169,10 @@ struct EngineReport {
   uint64_t shed_queries = 0;        ///< records dropped by overload shedding
   uint64_t queue_hwm = 0;           ///< deepest any worker queue ever got
   uint64_t clamp_stall_ns = 0;      ///< time ClampRate spent blocked on full queues
+  // Distributed-replay accounting (src/replay/dist/): processes, not threads.
+  uint64_t worker_crashes = 0;      ///< worker processes that died mid-replay
+  uint64_t workers_respawned = 0;   ///< crashes answered with a respawn+resume
+  int64_t max_drift_ns = 0;         ///< largest |worker-clock offset| measured
   metrics::LifecycleCounters lifecycle;  ///< timeout/retry/expiry accounting
   fault::ImpairmentCounters impairments; ///< what the fault layer did to us
   metrics::Histogram latency_hist;       ///< answered-query latency (ns)

@@ -1,0 +1,28 @@
+#include "trace/load.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "trace/binary.hpp"
+#include "trace/pcap.hpp"
+#include "trace/text.hpp"
+
+namespace ldp::trace {
+
+Result<std::vector<TraceRecord>> load_trace_file(const std::string& path) {
+  if (path.size() > 5 && path.substr(path.size() - 5) == ".ldpb") {
+    auto reader = LDP_TRY(BinaryReader::open(path));
+    return reader.read_all();
+  }
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
+    std::ifstream in(path);
+    if (!in) return Err("cannot open " + path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return trace_from_text(ss.str());
+  }
+  auto reader = LDP_TRY(PcapReader::open(path));
+  return reader.read_all();
+}
+
+}  // namespace ldp::trace

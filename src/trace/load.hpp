@@ -1,0 +1,16 @@
+// Extension-dispatched trace loading shared by the tools and the
+// distributed-replay worker: .ldpb (binary stream), .txt (text form),
+// anything else is treated as pcap. Both ends of a distributed replay must
+// load the trace file the same way, or the slice partition would diverge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace ldp::trace {
+
+Result<std::vector<TraceRecord>> load_trace_file(const std::string& path);
+
+}  // namespace ldp::trace

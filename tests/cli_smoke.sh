@@ -10,6 +10,7 @@ CONVERT=$2
 ZONECONSTRUCT=$3
 SERVER=$4
 REPLAY=$5
+WORKER=$6
 
 WORK=$(mktemp -d)
 trap 'kill $SERVER_PID $REPLAY_PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
@@ -128,6 +129,65 @@ if $REPLAY --shards banana trace.ldpb 127.0.0.1 $PORT3 2>> badshards.log; then
   echo "--shards banana was accepted"; exit 1
 fi
 grep -q "plain integer" badshards.log || { echo "missing replay --shards error"; exit 1; }
+
+echo "== sharded checkpoint / kill -9 / --shards 4 --resume round trip"
+PORT4=$(( (RANDOM % 10000) + 20000 ))
+$SERVER --port $PORT4 example.zone &
+SERVER_PID=$!
+sleep 0.5
+# Paced sharded replay writing per-shard snapshots; kill it mid-run, then a
+# sharded resume merges the .shardN files. Totals must cover every query.
+CKPT4=ckpt4.state
+$REPLAY --shards 4 --checkpoint $CKPT4 --checkpoint-interval 0.2 \
+  trace.ldpb 127.0.0.1 $PORT4 > shard_resume_first.log 2>&1 &
+REPLAY_PID=$!
+sleep 1
+kill -9 $REPLAY_PID 2>/dev/null || true
+wait $REPLAY_PID 2>/dev/null || true
+REPLAY_PID=""
+ls $CKPT4.shard* >/dev/null 2>&1 || { echo "no per-shard checkpoints written"; exit 1; }
+OUT6=$($REPLAY --shards 4 --checkpoint $CKPT4 --resume trace.ldpb 127.0.0.1 $PORT4 2>&1)
+echo "$OUT6"
+echo "$OUT6" | grep -q "resuming from $CKPT4.shard\*" \
+  || { echo "sharded resume did not load the checkpoints"; exit 1; }
+echo "$OUT6" | grep -q "queries sent:       400" || { echo "sharded resume lost queries"; exit 1; }
+
+echo "== distributed replay: --workers 2 forked worker processes"
+OUT7=$($REPLAY --workers 2 --worker-bin $WORKER trace.ldpb 127.0.0.1 $PORT4 2>&1)
+echo "$OUT7"
+echo "$OUT7" | grep -q "workers: 2 replay processes" || { echo "dist banner missing"; exit 1; }
+echo "$OUT7" | grep -q "queries sent:       400" || { echo "dist replay lost queries"; exit 1; }
+echo "$OUT7" | grep -q "worker crashes:     0" || { echo "clean dist run reported crashes"; exit 1; }
+
+echo "== distributed replay: kill -9 a worker, supervise, respawn, resume"
+OUT8=$($REPLAY --workers 2 --worker-bin $WORKER --checkpoint-interval 0.3 \
+  --kill-worker 1 --kill-after 1.2 trace.ldpb 127.0.0.1 $PORT4 2>&1)
+echo "$OUT8"
+echo "$OUT8" | grep -q "respawning (1/" || { echo "no respawn after the kill"; exit 1; }
+echo "$OUT8" | grep -q "worker crashes:     1 (respawned 1)" \
+  || { echo "crash counters wrong"; exit 1; }
+echo "$OUT8" | grep -q "queries sent:       400" \
+  || { echo "crash-resume dist run lost queries"; exit 1; }
+kill $SERVER_PID
+wait $SERVER_PID 2>/dev/null || true
+
+echo "== --workers is strictly validated"
+if $REPLAY --workers 0 trace.ldpb 127.0.0.1 $PORT4 2> badworkers.log; then
+  echo "--workers 0 was accepted"; exit 1
+fi
+grep -q "between 1 and 64" badworkers.log || { echo "missing --workers range error"; exit 1; }
+if $REPLAY --workers banana trace.ldpb 127.0.0.1 $PORT4 2>> badworkers.log; then
+  echo "--workers banana was accepted"; exit 1
+fi
+grep -q "plain integer" badworkers.log || { echo "missing --workers parse error"; exit 1; }
+if $REPLAY --workers 2 --shards 2 trace.ldpb 127.0.0.1 $PORT4 2>> badworkers.log; then
+  echo "--workers + --shards conflict was accepted"; exit 1
+fi
+grep -q "incompatible" badworkers.log || { echo "missing conflict error"; exit 1; }
+if $REPLAY --kill-worker 1 trace.ldpb 127.0.0.1 $PORT4 2>> badworkers.log; then
+  echo "--kill-worker without --workers was accepted"; exit 1
+fi
+grep -q "need --workers" badworkers.log || { echo "missing dependency error"; exit 1; }
 
 echo "== hardened server: malformed specs are strict errors"
 if $SERVER --limits max-conn:32 example.zone 2> badspec.log; then

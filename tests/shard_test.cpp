@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "dns/message.hpp"
+#include "replay/checkpoint.hpp"
 #include "replay/engine.hpp"
 #include "server/background.hpp"
 #include "server/shard.hpp"
@@ -408,13 +409,12 @@ TEST(ShardedReplay, LiveMutatorAppliedOnceBeforePartition) {
   EXPECT_EQ(report->mutator_dropped, 0u);
 }
 
-// Checkpoint/resume has no per-shard merge story; the combination is an
-// explicit error, not a silent single-shard fallback.
-TEST(ShardedReplay, CheckpointingRejectsShardedRuns) {
-  replay::EngineConfig cfg;
-  cfg.server = Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, 1};
-  cfg.shards = 2;
-  cfg.checkpoint_path = "/tmp/ldp_shard_ckpt_never_written";
+// Sharded checkpointing now writes per-shard files (<path>.shardN), so a
+// file checkpoint path is fine. What stays an explicit error: feeding a
+// single whole-trace resume state to a sharded run (it takes resume_shards)
+// and the in-memory checkpoint_sink (a per-shard sink would interleave
+// unrelated slices). dist_test.cpp covers the working per-shard round trip.
+TEST(ShardedReplay, ShardedCheckpointingInvalidCombinationsStayErrors) {
   std::vector<TraceRecord> trace;
   TraceRecord rec;
   rec.timestamp = 0;
@@ -424,9 +424,23 @@ TEST(ShardedReplay, CheckpointingRejectsShardedRuns) {
   rec.direction = trace::Direction::Query;
   rec.dns_payload = query_for("www.example.com").to_wire();
   trace.push_back(rec);
+
+  replay::EngineConfig cfg;
+  cfg.server = Endpoint{IpAddr{Ip4{127, 0, 0, 1}}, 1};
+  cfg.shards = 2;
+
+  replay::CheckpointState single;
+  single.trace_hash = 1;
+  cfg.resume = &single;
   auto report = replay::QueryEngine(cfg).replay(trace);
   ASSERT_FALSE(report.ok());
-  EXPECT_NE(report.error().message.find("checkpoint"), std::string::npos);
+  EXPECT_NE(report.error().message.find("resume_shards"), std::string::npos);
+  cfg.resume = nullptr;
+
+  cfg.checkpoint_sink = [](const replay::CheckpointState&) {};
+  report = replay::QueryEngine(cfg).replay(trace);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message.find("checkpoint_sink"), std::string::npos);
 }
 
 }  // namespace
